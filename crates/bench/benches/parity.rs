@@ -1,0 +1,47 @@
+//! End-to-end parity evaluation cost: one (synthesizer, ε) cell on the
+//! smallest paper, and the finding-evaluation loop alone — the quantities
+//! that dominate the Figure 3 grid's wall time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use synrd::benchmark::{run_paper, BenchmarkConfig};
+use synrd::publication_by_id;
+use synrd_synth::SynthKind;
+
+fn one_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parity_cell_fruiht");
+    group.sample_size(10);
+    group.bench_function("mst_1eps_1seed_2draws", |b| {
+        let paper = publication_by_id("fruiht2018").expect("registered");
+        let config = BenchmarkConfig {
+            epsilons: vec![std::f64::consts::E],
+            seeds: 1,
+            bootstraps: 2,
+            data_scale: 0.25,
+            min_rows: 1_000,
+            data_seed: 7,
+            threads: 1,
+            fit_timeout: Some(Duration::from_secs(600)),
+            restrict_privmrf: true,
+            synthesizers: vec![SynthKind::Mst],
+        };
+        b.iter(|| run_paper(paper.as_ref(), &config).expect("run"));
+    });
+    group.finish();
+}
+
+fn finding_evaluation(c: &mut Criterion) {
+    let paper = publication_by_id("saw2018").expect("registered");
+    let data = paper.generate(5_000, 3);
+    let findings = paper.findings();
+    c.bench_function("evaluate_15_saw_findings", |b| {
+        b.iter(|| {
+            for f in &findings {
+                f.evaluate(&data).expect("evaluate");
+            }
+        });
+    });
+}
+
+criterion_group!(benches, one_cell, finding_evaluation);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Ablation benches for the Private-PGM substrate (DESIGN.md "ablations"):
+//! mirror-descent iteration count vs wall time, and junction-tree sampling
+//! throughput as the tree widens.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use synrd_data::{BenchmarkDataset, Marginal};
+use synrd_pgm::{estimate, EstimationOptions, NoisyMeasurement, TreeSampler};
+
+/// Chain measurements over the Saw dataset (one per adjacent pair).
+fn chain_measurements() -> (Vec<usize>, Vec<NoisyMeasurement>) {
+    let data = BenchmarkDataset::Saw2018.generate(5_000, 3);
+    let shape = data.domain().shape();
+    let mut ms = Vec::new();
+    for a in 0..data.n_attrs() {
+        let m = Marginal::count(&data, &[a]).unwrap();
+        ms.push(NoisyMeasurement {
+            attrs: vec![a],
+            values: m.counts().to_vec(),
+            sigma: 5.0,
+        });
+    }
+    for a in 0..data.n_attrs() - 1 {
+        let m = Marginal::count(&data, &[a, a + 1]).unwrap();
+        ms.push(NoisyMeasurement {
+            attrs: vec![a, a + 1],
+            values: m.counts().to_vec(),
+            sigma: 5.0,
+        });
+    }
+    (shape, ms)
+}
+
+fn estimation_iterations(c: &mut Criterion) {
+    let (shape, ms) = chain_measurements();
+    let mut group = c.benchmark_group("pgm_mirror_descent");
+    group.sample_size(10);
+    for iters in [10usize, 50, 150] {
+        group.bench_with_input(BenchmarkId::from_parameter(iters), &iters, |b, &iters| {
+            b.iter(|| {
+                estimate(
+                    &shape,
+                    &ms,
+                    EstimationOptions {
+                        iterations: iters,
+                        initial_step: 1.0,
+                        cell_limit: 1 << 21,
+                    },
+                )
+                .expect("estimate")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn sampling_throughput(c: &mut Criterion) {
+    let (shape, ms) = chain_measurements();
+    let model = estimate(&shape, &ms, EstimationOptions::default()).expect("estimate");
+    let sampler = TreeSampler::new(&model).expect("sampler");
+    let mut group = c.benchmark_group("pgm_sampling");
+    group.sample_size(10);
+    for rows in [1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, &rows| {
+            let mut rng = StdRng::seed_from_u64(11);
+            b.iter(|| sampler.sample_columns(rows, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, estimation_iterations, sampling_throughput);
+criterion_main!(benches);

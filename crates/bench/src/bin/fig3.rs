@@ -1,0 +1,48 @@
+//! Regenerates **Figure 3**: epistemic parity for all findings across all
+//! papers, per synthesizer per ε, as an ASCII heatmap with the
+//! "real, bootstrap" control row and crosshatched infeasible cells.
+//!
+//! ```text
+//! cargo run --release -p synrd-bench --bin fig3 \
+//!     [--paper-scale] [--papers saw2018,fruiht2018] [--seeds K] [--bootstraps B]
+//! ```
+//!
+//! Quick mode (default: 1/10 data, k = 3, B = 5) finishes on a laptop;
+//! `--paper-scale` reproduces the full k = 10 × B = 25 protocol.
+
+use std::time::Instant;
+use synrd::benchmark::run_paper;
+use synrd::parity::{never_reproduced, paper_summary};
+use synrd::report::render_fig3_block;
+use synrd_bench::{config_from_args, selected_publications};
+
+fn main() {
+    let (config, paper_filter) = config_from_args();
+    let papers = selected_publications(&paper_filter);
+    println!(
+        "Figure 3: epistemic parity heatmap  (seeds k={}, draws B={}, scale={}, {} threads)\n",
+        config.seeds, config.bootstraps, config.data_scale, config.threads
+    );
+    for paper in papers {
+        let started = Instant::now();
+        match run_paper(paper.as_ref(), &config) {
+            Ok(report) => {
+                print!("{}", render_fig3_block(&report));
+                let summary = paper_summary(&report);
+                let best = summary
+                    .iter()
+                    .filter(|(_, p)| p.is_finite())
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+                if let Some((kind, parity)) = best {
+                    println!("  best synthesizer: {} (mean parity {:.3})", kind.name(), parity);
+                }
+                let hard = never_reproduced(&report, 0.5);
+                if !hard.is_empty() {
+                    println!("  findings below 0.5 parity for every synthesizer: {hard:?}");
+                }
+                println!("  [{} in {:.1}s]\n", report.paper_id, started.elapsed().as_secs_f64());
+            }
+            Err(e) => println!("  {} failed: {e}\n", paper.name()),
+        }
+    }
+}

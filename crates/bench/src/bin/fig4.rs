@@ -1,0 +1,47 @@
+//! Regenerates **Figure 4**: average epistemic parity (left) and average
+//! parity variance (right) as a function of ε, per synthesizer, aggregated
+//! over the benchmark papers.
+//!
+//! ```text
+//! cargo run --release -p synrd-bench --bin fig4 \
+//!     [--paper-scale] [--papers fruiht2018,pierce2019,saw2018]
+//! ```
+
+use synrd::benchmark::run_paper;
+use synrd::parity::aggregate;
+use synrd::report::render_fig4;
+use synrd_bench::{config_from_args, selected_publications};
+
+fn main() {
+    let (config, paper_filter) = config_from_args();
+    let papers = selected_publications(&paper_filter);
+    println!(
+        "Figure 4: parity vs epsilon  (seeds k={}, draws B={}, scale={})\n",
+        config.seeds, config.bootstraps, config.data_scale
+    );
+    let mut reports = Vec::new();
+    for paper in papers {
+        match run_paper(paper.as_ref(), &config) {
+            Ok(report) => {
+                println!("  finished {}", report.paper_name);
+                reports.push(report);
+            }
+            Err(e) => println!("  {} failed: {e}", paper.name()),
+        }
+    }
+    let agg = aggregate(&reports);
+    print!("\n{}", render_fig4(&agg));
+
+    // The paper's headline observation: parity is relatively insensitive
+    // to epsilon. Report the per-synthesizer spread across the grid.
+    println!("\nSpread of mean parity across the eps grid (max - min):");
+    for (kind, series) in &agg.parity {
+        let finite: Vec<f64> = series.iter().copied().filter(|v| v.is_finite()).collect();
+        if finite.is_empty() {
+            continue;
+        }
+        let max = finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = finite.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!("  {:>10}: {:.3}", kind.name(), max - min);
+    }
+}

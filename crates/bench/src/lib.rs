@@ -1,0 +1,73 @@
+//! # synrd-bench — harness regenerating every table and figure
+//!
+//! One binary per artifact:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 — dataset meta-features |
+//! | `table2` | Table 2 — finding counts per type |
+//! | `fig1`   | Figure 1 — Fairman visual finding, real vs MST at ε = e |
+//! | `fig3`   | Figure 3 — parity heatmap per finding × synthesizer × ε |
+//! | `fig4`   | Figure 4 — mean parity / parity variance vs ε |
+//!
+//! All binaries run at laptop scale by default and accept `--paper-scale`
+//! for the full protocol (k = 10, B = 25, paper sample sizes). Criterion
+//! benches in `benches/` cover the §7 "computational resources" comparison
+//! and our ablations.
+
+use synrd::benchmark::BenchmarkConfig;
+
+/// Parse common CLI flags shared by the figure binaries.
+///
+/// Supported flags:
+/// * `--paper-scale` — full protocol (expect hours of compute);
+/// * `--papers a,b,c` — restrict to specific paper ids;
+/// * `--seeds K` / `--bootstraps B` / `--scale F` — override grid knobs.
+pub fn config_from_args() -> (BenchmarkConfig, Vec<String>) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = if args.iter().any(|a| a == "--paper-scale") {
+        BenchmarkConfig::paper()
+    } else {
+        BenchmarkConfig::quick()
+    };
+    let mut papers: Vec<String> = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--papers" => {
+                if let Some(list) = it.next() {
+                    papers = list.split(',').map(|s| s.trim().to_string()).collect();
+                }
+            }
+            "--seeds" => {
+                if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                    config.seeds = v;
+                }
+            }
+            "--bootstraps" => {
+                if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                    config.bootstraps = v;
+                }
+            }
+            "--scale" => {
+                if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                    config.data_scale = v;
+                }
+            }
+            _ => {}
+        }
+    }
+    (config, papers)
+}
+
+/// The publications selected by `--papers` (all eight when empty).
+pub fn selected_publications(papers: &[String]) -> Vec<Box<dyn synrd::Publication>> {
+    if papers.is_empty() {
+        synrd::all_publications()
+    } else {
+        papers
+            .iter()
+            .filter_map(|id| synrd::publication_by_id(id))
+            .collect()
+    }
+}

@@ -1,0 +1,424 @@
+//! The benchmark driver: the k-seeds × B-bootstraps × ε-grid × synthesizer
+//! evaluation loop of §4.2/§7, parallelized over (synthesizer, ε) cells.
+
+use crate::error::{Result, SynrdError};
+use crate::finding::FindingType;
+use crate::publication::Publication;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+use synrd_dp::derive_seed_indexed;
+use synrd_synth::{SynthError, SynthKind};
+
+/// The paper's ε grid: e⁻³, e⁻², e⁻¹, e⁰, e¹, e².
+pub fn paper_epsilons() -> Vec<f64> {
+    (-3..=2).map(|k| (k as f64).exp()).collect()
+}
+
+/// Execution configuration.
+#[derive(Debug, Clone)]
+pub struct BenchmarkConfig {
+    /// ε values to sweep.
+    pub epsilons: Vec<f64>,
+    /// Training seeds per (synth, ε) cell (paper: k = 10).
+    pub seeds: usize,
+    /// Sample draws per trained synthesizer (paper: B = 25).
+    pub bootstraps: usize,
+    /// Multiplier on each paper's sample size (1.0 = paper scale).
+    pub data_scale: f64,
+    /// Floor on the scaled sample size.
+    pub min_rows: usize,
+    /// Seed of the "real" data generation.
+    pub data_seed: u64,
+    /// Worker threads for the cell grid.
+    pub threads: usize,
+    /// Per-fit wall-clock budget (the paper's 6-hour rule); exceeding it on
+    /// the first seed crosshatches the cell.
+    pub fit_timeout: Option<Duration>,
+    /// Restrict PrivMRF to ε = e⁰ (the paper: "too slow to be viable; we
+    /// report results only for ε = e⁰").
+    pub restrict_privmrf: bool,
+    /// Synthesizers to run.
+    pub synthesizers: Vec<SynthKind>,
+}
+
+impl BenchmarkConfig {
+    /// Laptop-scale defaults: 1/10 sample sizes with a floor of 2500 rows
+    /// (rare-outcome findings such as Assari's 4% mortality need enough
+    /// events to be stable even under the bootstrap control), k = 3, B = 5.
+    pub fn quick() -> BenchmarkConfig {
+        BenchmarkConfig {
+            epsilons: paper_epsilons(),
+            seeds: 3,
+            bootstraps: 5,
+            data_scale: 0.1,
+            min_rows: 2_500,
+            data_seed: 20230531,
+            threads: available_threads(),
+            fit_timeout: Some(Duration::from_secs(300)),
+            restrict_privmrf: true,
+            synthesizers: SynthKind::ALL.to_vec(),
+        }
+    }
+
+    /// The paper's full protocol: k = 10, B = 25, paper sample sizes.
+    pub fn paper() -> BenchmarkConfig {
+        BenchmarkConfig {
+            seeds: 10,
+            bootstraps: 25,
+            data_scale: 1.0,
+            fit_timeout: Some(Duration::from_secs(6 * 3600)),
+            ..BenchmarkConfig::quick()
+        }
+    }
+
+    /// Scaled sample size for a paper: `scale × n`, floored at `min_rows`
+    /// but never exceeding the paper's own sample size (small papers run at
+    /// full size rather than being upsampled).
+    pub fn rows_for(&self, paper_n: usize) -> usize {
+        ((paper_n as f64 * self.data_scale).round() as usize)
+            .max(self.min_rows)
+            .min(paper_n)
+    }
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(1, 16)
+}
+
+/// Why a cell has no parity numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellStatus {
+    /// Parity computed normally.
+    Ok,
+    /// The synthesizer declined the dataset (domain too large etc.).
+    Infeasible(String),
+    /// The first fit exceeded the wall-clock budget.
+    TimedOut,
+    /// Excluded by configuration (e.g. PrivMRF off-ε cells).
+    Skipped,
+}
+
+/// Result of one (synthesizer, ε) cell.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// Parity per finding: fraction of (seed × draw) trials reproducing it.
+    pub parity: Vec<f64>,
+    /// Variance over seeds of the per-seed parity, per finding.
+    pub seed_variance: Vec<f64>,
+    /// Cell status.
+    pub status: CellStatus,
+    /// Wall-clock seconds of the first fit (0 when not fitted).
+    pub fit_seconds: f64,
+}
+
+impl CellOutcome {
+    fn unavailable(status: CellStatus, findings: usize, fit_seconds: f64) -> CellOutcome {
+        CellOutcome {
+            parity: vec![f64::NAN; findings],
+            seed_variance: vec![f64::NAN; findings],
+            status,
+            fit_seconds,
+        }
+    }
+
+    /// Mean parity over findings (NaN when unavailable).
+    pub fn mean_parity(&self) -> f64 {
+        mean_finite(&self.parity)
+    }
+
+    /// Mean seed-variance over findings.
+    pub fn mean_variance(&self) -> f64 {
+        mean_finite(&self.seed_variance)
+    }
+}
+
+fn mean_finite(values: &[f64]) -> f64 {
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        f64::NAN
+    } else {
+        finite.iter().sum::<f64>() / finite.len() as f64
+    }
+}
+
+/// Everything Figure 3 needs for one paper.
+#[derive(Debug, Clone)]
+pub struct PaperReport {
+    /// Machine id of the paper (e.g. "saw2018").
+    pub paper_id: &'static str,
+    /// Citation-style name.
+    pub paper_name: &'static str,
+    /// (id, name, type) per finding, in id order.
+    pub findings: Vec<(u32, &'static str, FindingType)>,
+    /// ε grid used.
+    pub epsilons: Vec<f64>,
+    /// Synthesizers, row order of `cells`.
+    pub synthesizers: Vec<SynthKind>,
+    /// `cells[synth][eps]`.
+    pub cells: Vec<Vec<CellOutcome>>,
+    /// "real, bootstrap" control row: per-finding parity under resampling
+    /// of the real data.
+    pub control: Vec<f64>,
+    /// Rows of real data used.
+    pub n_rows: usize,
+}
+
+/// Run the full grid for one publication.
+///
+/// # Errors
+/// Fails if a finding cannot be evaluated on the *real* data (that would
+/// make parity meaningless); synthetic-side failures are folded into parity.
+pub fn run_paper(paper: &dyn Publication, config: &BenchmarkConfig) -> Result<PaperReport> {
+    let n = config.rows_for(paper.dataset().paper_n());
+    let real = paper.generate(n, config.data_seed);
+    let findings = paper.findings();
+
+    // Ground truth: every finding must evaluate on real data.
+    let mut real_stats = Vec::with_capacity(findings.len());
+    for f in &findings {
+        let stats = f.evaluate(&real)?;
+        if stats.iter().any(|v| !v.is_finite()) {
+            return Err(SynrdError::UndefinedStatistic {
+                finding: f.id,
+                reason: "non-finite statistic on real data".to_string(),
+            });
+        }
+        real_stats.push(stats);
+    }
+
+    // Control row: nonparametric bootstrap of the real data through the
+    // same pipeline (the paper's Bayesian-bootstrap control; see
+    // DESIGN.md §3 for the resampling-vs-weighting note).
+    let control = control_row(paper, &real, &findings, &real_stats, config)?;
+
+    // Cell grid, parallel over (synth, eps).
+    let grid: Vec<(usize, usize)> = (0..config.synthesizers.len())
+        .flat_map(|s| (0..config.epsilons.len()).map(move |e| (s, e)))
+        .collect();
+    let (tx, rx) = mpsc::channel::<(usize, usize, CellOutcome)>();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let real_ref = &real;
+    let findings_ref = &findings;
+    let real_stats_ref = &real_stats;
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..config.threads.min(grid.len()).max(1) {
+            let tx = tx.clone();
+            let next = &next;
+            let grid = &grid;
+            scope.spawn(move |_| {
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= grid.len() {
+                        break;
+                    }
+                    let (s_idx, e_idx) = grid[i];
+                    let outcome = run_cell(
+                        paper,
+                        real_ref,
+                        findings_ref,
+                        real_stats_ref,
+                        config,
+                        config.synthesizers[s_idx],
+                        config.epsilons[e_idx],
+                    );
+                    // The receiver lives until the scope ends.
+                    let _ = tx.send((s_idx, e_idx, outcome));
+                }
+            });
+        }
+        drop(tx);
+        let mut cells: Vec<Vec<CellOutcome>> = (0..config.synthesizers.len())
+            .map(|_| {
+                (0..config.epsilons.len())
+                    .map(|_| CellOutcome::unavailable(CellStatus::Skipped, findings_ref.len(), 0.0))
+                    .collect()
+            })
+            .collect();
+        for (s, e, outcome) in rx.iter() {
+            cells[s][e] = outcome;
+        }
+        cells
+    })
+    .map(|cells| PaperReport {
+        paper_id: paper.dataset().id(),
+        paper_name: paper.name(),
+        findings: findings
+            .iter()
+            .map(|f| (f.id, f.name, f.kind))
+            .collect(),
+        epsilons: config.epsilons.clone(),
+        synthesizers: config.synthesizers.clone(),
+        cells,
+        control,
+        n_rows: n,
+    })
+    .map_err(|_| SynrdError::Config("worker thread panicked".to_string()))
+}
+
+/// One (synthesizer, ε) cell: k fits × B draws.
+fn run_cell(
+    paper: &dyn Publication,
+    real: &synrd_data::Dataset,
+    findings: &[crate::finding::Finding],
+    real_stats: &[Vec<f64>],
+    config: &BenchmarkConfig,
+    kind: SynthKind,
+    epsilon: f64,
+) -> CellOutcome {
+    // The paper: "PrivMRF was too slow to be viable; we report results only
+    // for ε = e⁰".
+    if config.restrict_privmrf && kind == SynthKind::PrivMrf && (epsilon - 1.0).abs() > 1e-9 {
+        return CellOutcome::unavailable(CellStatus::Skipped, findings.len(), 0.0);
+    }
+    let privacy = kind.native_privacy(epsilon, real.n_rows());
+    let mut per_seed_parity: Vec<Vec<f64>> = Vec::with_capacity(config.seeds);
+    let mut first_fit_seconds = 0.0f64;
+
+    for seed_idx in 0..config.seeds {
+        let mut synth = kind.build();
+        let fit_seed = derive_seed_indexed(config.data_seed, "fit", seed_idx as u64);
+        let started = Instant::now();
+        match synth.fit(real, privacy, fit_seed) {
+            Ok(()) => {}
+            Err(SynthError::Infeasible { reason }) => {
+                return CellOutcome::unavailable(
+                    CellStatus::Infeasible(reason),
+                    findings.len(),
+                    started.elapsed().as_secs_f64(),
+                );
+            }
+            Err(_) => {
+                // Non-feasibility fit failure: count as zero parity for this
+                // seed rather than crashing the grid.
+                per_seed_parity.push(vec![0.0; findings.len()]);
+                continue;
+            }
+        }
+        let fit_seconds = started.elapsed().as_secs_f64();
+        if seed_idx == 0 {
+            first_fit_seconds = fit_seconds;
+            if let Some(budget) = config.fit_timeout {
+                if fit_seconds > budget.as_secs_f64() {
+                    return CellOutcome::unavailable(
+                        CellStatus::TimedOut,
+                        findings.len(),
+                        fit_seconds,
+                    );
+                }
+            }
+        }
+
+        let mut holds = vec![0.0f64; findings.len()];
+        for b in 0..config.bootstraps {
+            let draw_seed =
+                derive_seed_indexed(fit_seed, "draw", (seed_idx * config.bootstraps + b) as u64);
+            let Ok(sample) = synth.sample(real.n_rows(), draw_seed) else {
+                continue; // counts as not reproduced for every finding
+            };
+            for (fi, finding) in findings.iter().enumerate() {
+                let reproduced = match finding.evaluate(&sample) {
+                    Ok(stats) => finding.reproduced(&real_stats[fi], &stats),
+                    Err(_) => false,
+                };
+                if reproduced {
+                    holds[fi] += 1.0;
+                }
+            }
+        }
+        per_seed_parity.push(
+            holds
+                .iter()
+                .map(|h| h / config.bootstraps as f64)
+                .collect(),
+        );
+    }
+    let _ = paper; // paper identity not needed here beyond documentation
+
+    let k = per_seed_parity.len().max(1) as f64;
+    let parity: Vec<f64> = (0..findings.len())
+        .map(|fi| per_seed_parity.iter().map(|s| s[fi]).sum::<f64>() / k)
+        .collect();
+    let seed_variance: Vec<f64> = (0..findings.len())
+        .map(|fi| {
+            let mean = parity[fi];
+            per_seed_parity
+                .iter()
+                .map(|s| (s[fi] - mean).powi(2))
+                .sum::<f64>()
+                / k
+        })
+        .collect();
+    CellOutcome {
+        parity,
+        seed_variance,
+        status: CellStatus::Ok,
+        fit_seconds: first_fit_seconds,
+    }
+}
+
+/// The "real, bootstrap" control row.
+fn control_row(
+    _paper: &dyn Publication,
+    real: &synrd_data::Dataset,
+    findings: &[crate::finding::Finding],
+    real_stats: &[Vec<f64>],
+    config: &BenchmarkConfig,
+) -> Result<Vec<f64>> {
+    let replicates = (config.bootstraps * config.seeds.max(1)).max(10);
+    let mut rng = synrd_dp::rng_for(config.data_seed, "bootstrap-control");
+    let mut holds = vec![0.0f64; findings.len()];
+    for _ in 0..replicates {
+        let resample = real.bootstrap_sample(real.n_rows(), &mut rng);
+        for (fi, finding) in findings.iter().enumerate() {
+            let reproduced = match finding.evaluate(&resample) {
+                Ok(stats) => finding.reproduced(&real_stats[fi], &stats),
+                Err(_) => false,
+            };
+            if reproduced {
+                holds[fi] += 1.0;
+            }
+        }
+    }
+    Ok(holds.iter().map(|h| h / replicates as f64).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_grid_matches_paper() {
+        let eps = paper_epsilons();
+        assert_eq!(eps.len(), 6);
+        assert!((eps[3] - 1.0).abs() < 1e-12); // e^0
+        assert!((eps[4] - std::f64::consts::E).abs() < 1e-12);
+    }
+
+    #[test]
+    fn config_scaling() {
+        let config = BenchmarkConfig::quick();
+        assert_eq!(config.rows_for(293_581), 29_358);
+        assert_eq!(config.rows_for(20_000), 2_500); // floor
+        assert_eq!(config.rows_for(1_762), 1_762); // never upsampled
+
+        let paper = BenchmarkConfig::paper();
+        assert_eq!(paper.rows_for(293_581), 293_581);
+        assert_eq!(paper.seeds, 10);
+        assert_eq!(paper.bootstraps, 25);
+    }
+
+    #[test]
+    fn mean_parity_skips_nan() {
+        let cell = CellOutcome {
+            parity: vec![1.0, f64::NAN, 0.5],
+            seed_variance: vec![0.0, f64::NAN, 0.0],
+            status: CellStatus::Ok,
+            fit_seconds: 0.0,
+        };
+        assert!((cell.mean_parity() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,70 @@
+//! Error taxonomy for the benchmark core.
+
+use std::fmt;
+use synrd_data::DataError;
+use synrd_ml::MlError;
+use synrd_stats::StatsError;
+use synrd_synth::SynthError;
+
+/// Errors surfaced by finding evaluation and benchmark execution.
+#[derive(Debug, Clone)]
+pub enum SynrdError {
+    /// Underlying data error.
+    Data(DataError),
+    /// Underlying statistics error.
+    Stats(StatsError),
+    /// Underlying ML error.
+    Ml(MlError),
+    /// Underlying synthesizer error.
+    Synth(SynthError),
+    /// A finding's statistic was undefined on this dataset (e.g. an empty
+    /// group after synthesis). The benchmark treats this as "finding not
+    /// reproduced", not as a crash.
+    UndefinedStatistic { finding: u32, reason: String },
+    /// Configuration problem.
+    Config(String),
+}
+
+impl fmt::Display for SynrdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynrdError::Data(e) => write!(f, "data error: {e}"),
+            SynrdError::Stats(e) => write!(f, "stats error: {e}"),
+            SynrdError::Ml(e) => write!(f, "ml error: {e}"),
+            SynrdError::Synth(e) => write!(f, "synth error: {e}"),
+            SynrdError::UndefinedStatistic { finding, reason } => {
+                write!(f, "finding #{finding}: statistic undefined ({reason})")
+            }
+            SynrdError::Config(msg) => write!(f, "configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SynrdError {}
+
+impl From<DataError> for SynrdError {
+    fn from(e: DataError) -> Self {
+        SynrdError::Data(e)
+    }
+}
+
+impl From<StatsError> for SynrdError {
+    fn from(e: StatsError) -> Self {
+        SynrdError::Stats(e)
+    }
+}
+
+impl From<MlError> for SynrdError {
+    fn from(e: MlError) -> Self {
+        SynrdError::Ml(e)
+    }
+}
+
+impl From<SynthError> for SynrdError {
+    fn from(e: SynthError) -> Self {
+        SynrdError::Synth(e)
+    }
+}
+
+/// Convenience alias used throughout the core crate.
+pub type Result<T> = std::result::Result<T, SynrdError>;

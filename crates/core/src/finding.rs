@@ -1,0 +1,234 @@
+//! Findings: the atomic unit of epistemic parity.
+//!
+//! Following Cohen et al. (as adapted in §4.1 of the paper), a *finding* is
+//! a natural-language claim backed by a Boolean-evaluable comparison of
+//! values. We model a finding as
+//!
+//! * a statistic function `Dataset → Vec<f64>`, re-runnable on real or
+//!   synthetic data, and
+//! * a [`Check`] that decides whether the synthetic statistics preserve the
+//!   real ones — a tolerance band (the paper's "soft finding", Eq. 6), an
+//!   order pattern, or a sign pattern.
+
+use crate::error::{Result, SynrdError};
+use std::fmt;
+use synrd_data::Dataset;
+
+/// The finding taxonomy of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FindingType {
+    DescriptiveStatistics,
+    RegressionBetweenCoefficients,
+    FixedCoefficientSign,
+    CausalPathVariability,
+    CausalPathInteraction,
+    CoefficientDifference,
+    LogisticPbr,
+    LogisticFnr,
+    LogisticFpr,
+    LogisticAccuracy,
+    MeanDifferenceBetweenClass,
+    MeanDifferenceTemporal,
+    CorrelationPearson,
+    CorrelationSpearman,
+}
+
+impl FindingType {
+    /// All types, in Table 2 row order.
+    pub const ALL: [FindingType; 14] = [
+        FindingType::DescriptiveStatistics,
+        FindingType::RegressionBetweenCoefficients,
+        FindingType::FixedCoefficientSign,
+        FindingType::CausalPathVariability,
+        FindingType::CausalPathInteraction,
+        FindingType::CoefficientDifference,
+        FindingType::LogisticPbr,
+        FindingType::LogisticFnr,
+        FindingType::LogisticFpr,
+        FindingType::LogisticAccuracy,
+        FindingType::MeanDifferenceBetweenClass,
+        FindingType::MeanDifferenceTemporal,
+        FindingType::CorrelationPearson,
+        FindingType::CorrelationSpearman,
+    ];
+
+    /// Display label matching Table 2.
+    pub fn label(self) -> &'static str {
+        match self {
+            FindingType::DescriptiveStatistics => "Descriptive Statistics",
+            FindingType::RegressionBetweenCoefficients => "Regression / Between-Coefficients",
+            FindingType::FixedCoefficientSign => "Regression / Fixed Coefficient (Sign)",
+            FindingType::CausalPathVariability => "Causal Paths / Variability",
+            FindingType::CausalPathInteraction => "Causal Paths / Interaction",
+            FindingType::CoefficientDifference => "Coefficient Difference",
+            FindingType::LogisticPbr => "Logistic Regression / PBR",
+            FindingType::LogisticFnr => "Logistic Regression / FNR",
+            FindingType::LogisticFpr => "Logistic Regression / FPR",
+            FindingType::LogisticAccuracy => "Logistic Regression / Accuracy",
+            FindingType::MeanDifferenceBetweenClass => "Mean Difference / Between-Class",
+            FindingType::MeanDifferenceTemporal => "Mean Difference / Temporal (FC)",
+            FindingType::CorrelationPearson => "Correlation / Pearson",
+            FindingType::CorrelationSpearman => "Correlation / Spearman",
+        }
+    }
+}
+
+/// How synthetic statistics are compared to real ones.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Check {
+    /// The paper's soft finding (Eq. 6): `|τ(synth)_i − τ(real)_i| ≤ α` for
+    /// every component.
+    Tolerance { alpha: f64 },
+    /// The full ranking of the statistic vector must match (for a pair,
+    /// "A > B" must survive synthesis).
+    Order,
+    /// Every component must keep its sign.
+    Sign,
+}
+
+/// The statistic function of a finding.
+pub type StatFn = Box<dyn Fn(&Dataset) -> Result<Vec<f64>> + Send + Sync>;
+
+/// One finding: a claim from a benchmark paper as a computable object.
+pub struct Finding {
+    /// Global finding id (the paper's numbering; #4, #39, #96 are the hard
+    /// ones).
+    pub id: u32,
+    /// Short human-readable description of the claim.
+    pub name: &'static str,
+    /// Taxonomy bucket (Table 2).
+    pub kind: FindingType,
+    /// Comparison semantics.
+    pub check: Check,
+    stat: StatFn,
+}
+
+impl fmt::Debug for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Finding")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("kind", &self.kind)
+            .field("check", &self.check)
+            .finish()
+    }
+}
+
+impl Finding {
+    /// Construct a finding.
+    pub fn new(
+        id: u32,
+        name: &'static str,
+        kind: FindingType,
+        check: Check,
+        stat: StatFn,
+    ) -> Finding {
+        Finding {
+            id,
+            name,
+            kind,
+            check,
+            stat,
+        }
+    }
+
+    /// Evaluate the statistic on a dataset.
+    ///
+    /// # Errors
+    /// Propagates underlying statistics errors; callers treat evaluation
+    /// failures on *synthetic* data as "not reproduced".
+    pub fn evaluate(&self, data: &Dataset) -> Result<Vec<f64>> {
+        let stats = (self.stat)(data)?;
+        if stats.is_empty() {
+            return Err(SynrdError::UndefinedStatistic {
+                finding: self.id,
+                reason: "empty statistic vector".to_string(),
+            });
+        }
+        Ok(stats)
+    }
+
+    /// Does the synthetic statistic vector preserve the real one under this
+    /// finding's check? Undefined values (NaN) never reproduce.
+    pub fn reproduced(&self, real: &[f64], synth: &[f64]) -> bool {
+        if real.len() != synth.len() || synth.iter().any(|v| !v.is_finite()) {
+            return false;
+        }
+        match self.check {
+            Check::Tolerance { alpha } => real
+                .iter()
+                .zip(synth)
+                .all(|(r, s)| (r - s).abs() <= alpha),
+            Check::Sign => real
+                .iter()
+                .zip(synth)
+                .all(|(r, s)| (r.signum() - s.signum()).abs() < f64::EPSILON || (*r == 0.0 && *s == 0.0)),
+            Check::Order => ranking(real) == ranking(synth),
+        }
+    }
+}
+
+/// Rank pattern of a vector (ties broken by index, which is deterministic
+/// and identical across the two sides).
+fn ranking(values: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synrd_data::{Attribute, Domain};
+
+    fn dummy_finding(check: Check) -> Finding {
+        Finding::new(
+            1,
+            "test",
+            FindingType::DescriptiveStatistics,
+            check,
+            Box::new(|d: &Dataset| Ok(vec![d.mean_of(0)?])),
+        )
+    }
+
+    #[test]
+    fn tolerance_check() {
+        let f = dummy_finding(Check::Tolerance { alpha: 0.1 });
+        assert!(f.reproduced(&[0.5], &[0.55]));
+        assert!(!f.reproduced(&[0.5], &[0.65]));
+        assert!(!f.reproduced(&[0.5], &[f64::NAN]));
+    }
+
+    #[test]
+    fn order_check() {
+        let f = dummy_finding(Check::Order);
+        assert!(f.reproduced(&[0.3, 0.2, 0.9], &[0.5, 0.1, 0.8]));
+        assert!(!f.reproduced(&[0.3, 0.2, 0.9], &[0.1, 0.5, 0.8]));
+    }
+
+    #[test]
+    fn sign_check() {
+        let f = dummy_finding(Check::Sign);
+        assert!(f.reproduced(&[-0.2, 0.4], &[-0.9, 0.01]));
+        assert!(!f.reproduced(&[-0.2, 0.4], &[0.2, 0.4]));
+    }
+
+    #[test]
+    fn evaluate_runs_the_statistic() {
+        let domain = Domain::new(vec![Attribute::binary("b")]);
+        let ds = Dataset::new(domain, vec![vec![1, 1, 0, 0]]).unwrap();
+        let f = dummy_finding(Check::Tolerance { alpha: 0.1 });
+        assert_eq!(f.evaluate(&ds).unwrap(), vec![0.5]);
+    }
+
+    #[test]
+    fn length_mismatch_never_reproduces() {
+        let f = dummy_finding(Check::Order);
+        assert!(!f.reproduced(&[1.0, 2.0], &[1.0]));
+    }
+}

@@ -1,0 +1,99 @@
+//! Fruiht & Chan (2018): naturally occurring mentorship and educational
+//! attainment of first-generation college students (AddHealth). 6 findings
+//! (ids 50–55), including the benchmark's single *Causal Paths* pair:
+//! a PROCESS-style moderation (mentor × parent-college interaction) and a
+//! mediation path through income.
+
+use crate::finding::{Check, Finding, FindingType as FT};
+use crate::papers::helpers::*;
+use crate::publication::Publication;
+use synrd_data::BenchmarkDataset;
+use synrd_stats::{mediation, moderation};
+
+/// The Fruiht & Chan 2018 publication.
+pub struct Fruiht2018;
+
+impl Publication for Fruiht2018 {
+    fn dataset(&self) -> BenchmarkDataset {
+        BenchmarkDataset::Fruiht2018
+    }
+
+    fn findings(&self) -> Vec<Finding> {
+        vec![
+            Finding::new(
+                50,
+                "mentored respondents attain more education",
+                FT::MeanDifferenceBetweenClass,
+                Check::Order,
+                Box::new(|ds| {
+                    Ok(vec![
+                        mean_where(ds, &[("mentor", 1)], "edu_attain")?,
+                        mean_where(ds, &[("mentor", 0)], "edu_attain")?,
+                    ])
+                }),
+            ),
+            Finding::new(
+                51,
+                "parental college outweighs mentorship in the regression",
+                FT::RegressionBetweenCoefficients,
+                Check::Order,
+                Box::new(|ds| {
+                    let fit = ols_named(
+                        ds,
+                        "edu_attain",
+                        &["parent_college", "mentor", "income"],
+                    )?;
+                    Ok(vec![fit.coefficients[1], fit.coefficients[2]])
+                }),
+            ),
+            Finding::new(
+                52,
+                "African American respondents attain less education",
+                FT::FixedCoefficientSign,
+                Check::Sign,
+                Box::new(|ds| {
+                    let race = codes(ds, "race")?;
+                    let black: Vec<f64> = race.iter().map(|&c| f64::from(c == 1)).collect();
+                    let edu = col(ds, "edu_attain")?;
+                    let pc = col(ds, "parent_college")?;
+                    let mentor = col(ds, "mentor")?;
+                    let fit = synrd_stats::ols_columns(&[black, pc, mentor], &edu)?;
+                    Ok(vec![fit.coefficients[1]])
+                }),
+            ),
+            Finding::new(
+                53,
+                "mentorship moderates the parental-education effect",
+                FT::CausalPathInteraction,
+                Check::Sign,
+                Box::new(|ds| {
+                    let y = col(ds, "edu_attain")?;
+                    let x = col(ds, "parent_college")?;
+                    let m = col(ds, "mentor")?;
+                    let result = moderation(&y, &x, &m, &[])?;
+                    Ok(vec![result.interaction])
+                }),
+            ),
+            Finding::new(
+                54,
+                "parental college works partly through family income",
+                FT::CausalPathVariability,
+                Check::Sign,
+                Box::new(|ds| {
+                    let y = col(ds, "edu_attain")?;
+                    let x = col(ds, "parent_college")?;
+                    let med = col(ds, "income")?;
+                    let result = mediation(&y, &x, &med)?;
+                    Ok(vec![result.indirect])
+                }),
+            ),
+            Finding::new(
+                55,
+                "roughly three quarters report a natural mentor",
+                FT::DescriptiveStatistics,
+                Check::Tolerance { alpha: 0.03 },
+                Box::new(|ds| Ok(vec![prop(ds, "mentor", 1)?])),
+            ),
+        ]
+    }
+}

@@ -1,0 +1,126 @@
+//! Shared statistic helpers for the paper modules.
+//!
+//! All helpers use the *NaN convention*: statistics over empty groups return
+//! NaN rather than erroring, because on heavily-noised synthetic data a
+//! subgroup can vanish; [`crate::finding::Finding::reproduced`] then counts
+//! the finding as not reproduced, which is the paper's semantics.
+
+use crate::error::Result;
+use synrd_data::Dataset;
+use synrd_stats::{logistic_columns, ols_columns, pearson, spearman, LinearFit, LogisticFit};
+
+/// Numeric column by attribute name.
+pub(crate) fn col(ds: &Dataset, name: &str) -> Result<Vec<f64>> {
+    let idx = ds.domain().index_of(name)?;
+    Ok(ds.numeric_column(idx)?)
+}
+
+/// Raw codes by attribute name.
+pub(crate) fn codes(ds: &Dataset, name: &str) -> Result<Vec<u32>> {
+    Ok(ds.column_by_name(name)?.to_vec())
+}
+
+/// Proportion of rows with `attr == code`.
+pub(crate) fn prop(ds: &Dataset, name: &str, code: u32) -> Result<f64> {
+    let idx = ds.domain().index_of(name)?;
+    Ok(ds.proportion(idx, code)?)
+}
+
+/// Mean of the numeric column `value` among rows where every `(attr, code)`
+/// condition holds; NaN for empty groups.
+pub(crate) fn mean_where(
+    ds: &Dataset,
+    conditions: &[(&str, u32)],
+    value: &str,
+) -> Result<f64> {
+    let cond_idx: Vec<(usize, u32)> = conditions
+        .iter()
+        .map(|(n, c)| Ok((ds.domain().index_of(n)?, *c)))
+        .collect::<Result<_>>()?;
+    let sub = ds.filter_rows(|r| cond_idx.iter().all(|&(a, c)| r.get(a) == c));
+    if sub.is_empty() {
+        return Ok(f64::NAN);
+    }
+    let vidx = sub.domain().index_of(value)?;
+    Ok(sub.mean_of(vidx)?)
+}
+
+/// Proportion of `target_code` in `target` among rows matching conditions.
+pub(crate) fn prop_where(
+    ds: &Dataset,
+    conditions: &[(&str, u32)],
+    target: &str,
+    target_code: u32,
+) -> Result<f64> {
+    let cond_idx: Vec<(usize, u32)> = conditions
+        .iter()
+        .map(|(n, c)| Ok((ds.domain().index_of(n)?, *c)))
+        .collect::<Result<_>>()?;
+    let sub = ds.filter_rows(|r| cond_idx.iter().all(|&(a, c)| r.get(a) == c));
+    if sub.is_empty() {
+        return Ok(f64::NAN);
+    }
+    let tidx = sub.domain().index_of(target)?;
+    Ok(sub.proportion(tidx, target_code)?)
+}
+
+/// Pearson correlation of two named columns.
+pub(crate) fn pearson_named(ds: &Dataset, a: &str, b: &str) -> Result<f64> {
+    Ok(pearson(&col(ds, a)?, &col(ds, b)?)?)
+}
+
+/// Spearman correlation of two named columns.
+pub(crate) fn spearman_named(ds: &Dataset, a: &str, b: &str) -> Result<f64> {
+    Ok(spearman(&col(ds, a)?, &col(ds, b)?)?)
+}
+
+/// OLS of `y` on named predictors (intercept included; coefficient i+1
+/// corresponds to predictor i).
+pub(crate) fn ols_named(ds: &Dataset, y: &str, xs: &[&str]) -> Result<LinearFit> {
+    let yv = col(ds, y)?;
+    let cols: Vec<Vec<f64>> = xs.iter().map(|x| col(ds, x)).collect::<Result<_>>()?;
+    Ok(ols_columns(&cols, &yv)?)
+}
+
+/// Logistic regression of binary `y` on named predictors.
+pub(crate) fn logistic_named(ds: &Dataset, y: &str, xs: &[&str]) -> Result<LogisticFit> {
+    let yv = col(ds, y)?;
+    let cols: Vec<Vec<f64>> = xs.iter().map(|x| col(ds, x)).collect::<Result<_>>()?;
+    Ok(logistic_columns(&cols, &yv)?)
+}
+
+/// Log odds ratio of `outcome == 1` for `exposure == 1` vs `exposure == 0`,
+/// from the 2×2 table with the Haldane–Anscombe correction.
+pub(crate) fn log_odds_ratio(ds: &Dataset, exposure: &str, outcome: &str) -> Result<f64> {
+    let e = codes(ds, exposure)?;
+    let o = codes(ds, outcome)?;
+    let mut table = [0.0f64; 4]; // [e1o1, e1o0, e0o1, e0o0]
+    for (ev, ov) in e.iter().zip(&o) {
+        let idx = match (ev, ov) {
+            (1, 1) => 0,
+            (1, 0) => 1,
+            (0, 1) => 2,
+            _ => 3,
+        };
+        table[idx] += 1.0;
+    }
+    Ok(synrd_stats::odds_ratio_2x2(table[0], table[1], table[2], table[3]).ln())
+}
+
+/// Pearson correlation between two named columns *within* a subgroup.
+pub(crate) fn pearson_where(
+    ds: &Dataset,
+    conditions: &[(&str, u32)],
+    a: &str,
+    b: &str,
+) -> Result<f64> {
+    let cond_idx: Vec<(usize, u32)> = conditions
+        .iter()
+        .map(|(n, c)| Ok((ds.domain().index_of(n)?, *c)))
+        .collect::<Result<_>>()?;
+    let sub = ds.filter_rows(|r| cond_idx.iter().all(|&(aa, c)| r.get(aa) == c));
+    if sub.n_rows() < 3 {
+        return Ok(f64::NAN);
+    }
+    pearson_named(&sub, a, b)
+}

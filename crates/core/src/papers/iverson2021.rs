@@ -1,0 +1,151 @@
+//! Iverson & Terry (2021): high-school football and adult depression /
+//! suicidality (AddHealth). 12 findings (ids 38–49) including the
+//! benchmark-wide hard finding **#39**, a five-component descriptive
+//! statistic over a sparse, low-mutual-information, wide-domain dataset no
+//! synthesizer handles well.
+
+use crate::finding::{Check, Finding, FindingType as FT};
+use crate::papers::helpers::*;
+use crate::publication::Publication;
+use synrd_data::BenchmarkDataset;
+
+/// The Iverson & Terry 2021 publication.
+pub struct Iverson2021;
+
+impl Publication for Iverson2021 {
+    fn dataset(&self) -> BenchmarkDataset {
+        BenchmarkDataset::Iverson2021
+    }
+
+    fn findings(&self) -> Vec<Finding> {
+        vec![
+            Finding::new(
+                38,
+                "no direct effect of football on adult depression",
+                FT::MeanDifferenceBetweenClass,
+                Check::Tolerance { alpha: 0.03 },
+                Box::new(|ds| {
+                    Ok(vec![
+                        prop_where(ds, &[("football", 1)], "dep_adult", 1)?
+                            - prop_where(ds, &[("football", 0)], "dep_adult", 1)?,
+                    ])
+                }),
+            ),
+            Finding::new(
+                39,
+                "adult diagnosis prevalences (5 statistics) [HARD]",
+                FT::DescriptiveStatistics,
+                Check::Tolerance { alpha: 0.015 },
+                Box::new(|ds| {
+                    Ok(vec![
+                        prop(ds, "dep_adult", 1)?,
+                        prop(ds, "suicidality_adult", 1)?,
+                        prop(ds, "counseling", 1)?,
+                        prop(ds, "anxiety", 1)?,
+                        prop(ds, "psych_hosp", 1)?,
+                    ])
+                }),
+            ),
+            Finding::new(
+                40,
+                "no direct effect of football on suicidality",
+                FT::MeanDifferenceBetweenClass,
+                Check::Tolerance { alpha: 0.025 },
+                Box::new(|ds| {
+                    Ok(vec![
+                        prop_where(ds, &[("football", 1)], "suicidality_adult", 1)?
+                            - prop_where(ds, &[("football", 0)], "suicidality_adult", 1)?,
+                    ])
+                }),
+            ),
+            Finding::new(
+                41,
+                "adolescent depression predicts adult depression",
+                FT::CoefficientDifference,
+                Check::Order,
+                Box::new(|ds| {
+                    Ok(vec![
+                        prop_where(ds, &[("dep_adolescent", 1)], "dep_adult", 1)?,
+                        prop_where(ds, &[("dep_adolescent", 0)], "dep_adult", 1)?,
+                    ])
+                }),
+            ),
+            Finding::new(
+                42,
+                "adolescent depression raises adult suicidality odds",
+                FT::FixedCoefficientSign,
+                Check::Sign,
+                Box::new(|ds| Ok(vec![log_odds_ratio(ds, "dep_adolescent", "suicidality_adult")?])),
+            ),
+            Finding::new(
+                43,
+                "counseling uptake higher among depressed adults",
+                FT::MeanDifferenceBetweenClass,
+                Check::Order,
+                Box::new(|ds| {
+                    Ok(vec![
+                        prop_where(ds, &[("dep_adult", 1)], "counseling", 1)?,
+                        prop_where(ds, &[("dep_adult", 0)], "counseling", 1)?,
+                    ])
+                }),
+            ),
+            Finding::new(
+                44,
+                "suicidality rarer than depression at both waves",
+                FT::MeanDifferenceTemporal,
+                Check::Order,
+                Box::new(|ds| {
+                    Ok(vec![
+                        prop(ds, "dep_adult", 1)?,
+                        prop(ds, "suicidality_adult", 1)?,
+                    ])
+                }),
+            ),
+            Finding::new(
+                45,
+                "psychiatric hospitalization concentrates among the suicidal",
+                FT::MeanDifferenceBetweenClass,
+                Check::Order,
+                Box::new(|ds| {
+                    Ok(vec![
+                        prop_where(ds, &[("suicidality_adult", 1)], "psych_hosp", 1)?,
+                        prop_where(ds, &[("suicidality_adult", 0)], "psych_hosp", 1)?,
+                    ])
+                }),
+            ),
+            Finding::new(
+                46,
+                "about half the men played high-school football",
+                FT::DescriptiveStatistics,
+                Check::Tolerance { alpha: 0.03 },
+                Box::new(|ds| Ok(vec![prop(ds, "football", 1)?])),
+            ),
+            Finding::new(
+                47,
+                "depression and anxiety co-occur",
+                FT::CorrelationPearson,
+                Check::Sign,
+                Box::new(|ds| Ok(vec![pearson_named(ds, "dep_adult", "anxiety")?])),
+            ),
+            Finding::new(
+                48,
+                "smoking unrelated to adult depression in this sample",
+                FT::MeanDifferenceBetweenClass,
+                Check::Tolerance { alpha: 0.025 },
+                Box::new(|ds| {
+                    Ok(vec![
+                        prop_where(ds, &[("smoker", 1)], "dep_adult", 1)?
+                            - prop_where(ds, &[("smoker", 0)], "dep_adult", 1)?,
+                    ])
+                }),
+            ),
+            Finding::new(
+                49,
+                "rank correlation between adolescent and adult depression",
+                FT::CorrelationSpearman,
+                Check::Sign,
+                Box::new(|ds| Ok(vec![spearman_named(ds, "dep_adolescent", "dep_adult")?])),
+            ),
+        ]
+    }
+}

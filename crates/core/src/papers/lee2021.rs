@@ -1,0 +1,111 @@
+//! Lee & Simpkins (2021): ability self-concept and parental support as
+//! protective factors against low teacher support (HSLS:09). 12 findings
+//! (ids 64–75), dominated by Pearson correlations — this is the benchmark's
+//! high-mutual-information, quasi-continuous dataset on which all six
+//! synthesizers achieve perfect parity in the paper.
+
+use crate::finding::{Check, Finding, FindingType as FT};
+use crate::papers::helpers::*;
+use crate::publication::Publication;
+use synrd_data::BenchmarkDataset;
+
+/// Pearson finding with the paper's threshold convention: the statistic is
+/// `r − threshold`, so a [`Check::Sign`] preserves "stronger than the
+/// threshold" (0.7 = "strong").
+fn corr_finding(
+    id: u32,
+    name: &'static str,
+    a: &'static str,
+    b: &'static str,
+    threshold: f64,
+) -> Finding {
+    Finding::new(
+        id,
+        name,
+        FT::CorrelationPearson,
+        Check::Sign,
+        Box::new(move |ds| Ok(vec![pearson_named(ds, a, b)? - threshold])),
+    )
+}
+
+/// The Lee & Simpkins 2021 publication.
+pub struct Lee2021;
+
+impl Publication for Lee2021 {
+    fn dataset(&self) -> BenchmarkDataset {
+        BenchmarkDataset::Lee2021
+    }
+
+    fn findings(&self) -> Vec<Finding> {
+        const PREDICTORS: [&str; 5] = [
+            "math9",
+            "ability_self_concept",
+            "teacher_support",
+            "parent_support",
+            "ses",
+        ];
+        vec![
+            corr_finding(64, "math scores strongly correlated across grades", "math9", "math11", 0.7),
+            corr_finding(65, "ability self-concept tracks 11th-grade math", "ability_self_concept", "math11", 0.0),
+            corr_finding(66, "teacher support positively related to math", "teacher_support", "math11", 0.0),
+            corr_finding(67, "parental support positively related to math", "parent_support", "math11", 0.0),
+            corr_finding(68, "SES positively related to math", "ses", "math11", 0.0),
+            corr_finding(69, "SES tracks parental support", "ses", "parent_support", 0.0),
+            corr_finding(70, "prior achievement moderately predicts math", "prior_achievement", "math11", 0.5),
+            corr_finding(71, "English and math achievement co-vary", "english9", "math9", 0.0),
+            Finding::new(
+                72,
+                "ability self-concept outweighs teacher support",
+                FT::RegressionBetweenCoefficients,
+                Check::Order,
+                Box::new(|ds| {
+                    let fit = ols_named(ds, "math11", &PREDICTORS)?;
+                    Ok(vec![fit.coefficients[2], fit.coefficients[3]])
+                }),
+            ),
+            Finding::new(
+                73,
+                "parental support outweighs teacher support",
+                FT::RegressionBetweenCoefficients,
+                Check::Order,
+                Box::new(|ds| {
+                    let fit = ols_named(ds, "math11", &PREDICTORS)?;
+                    Ok(vec![fit.coefficients[4], fit.coefficients[3]])
+                }),
+            ),
+            Finding::new(
+                74,
+                "ability self-concept outweighs parental support",
+                FT::RegressionBetweenCoefficients,
+                Check::Order,
+                Box::new(|ds| {
+                    let fit = ols_named(ds, "math11", &PREDICTORS)?;
+                    Ok(vec![fit.coefficients[2], fit.coefficients[4]])
+                }),
+            ),
+            Finding::new(
+                75,
+                "self-concept buffers low teacher support (interaction < 0)",
+                FT::FixedCoefficientSign,
+                Check::Sign,
+                Box::new(|ds| {
+                    let y = col(ds, "math11")?;
+                    let math9 = col(ds, "math9")?;
+                    let ability = col(ds, "ability_self_concept")?;
+                    let teacher = col(ds, "teacher_support")?;
+                    let parent = col(ds, "parent_support")?;
+                    let interaction: Vec<f64> = ability
+                        .iter()
+                        .zip(&teacher)
+                        .map(|(a, t)| a * t)
+                        .collect();
+                    let fit = synrd_stats::ols_columns(
+                        &[math9, ability, teacher, parent, interaction],
+                        &y,
+                    )?;
+                    Ok(vec![fit.coefficients[5]])
+                }),
+            ),
+        ]
+    }
+}

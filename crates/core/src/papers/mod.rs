@@ -1,0 +1,55 @@
+//! The eight benchmark publications (§5.2 of the paper), each translating a
+//! peer-reviewed paper's claims into computable [`crate::finding::Finding`]s.
+//!
+//! Global finding ids run 1–104 across papers in this order:
+//! Assari 1–18, Fairman 19–37, Iverson 38–49, Fruiht 50–55, Jeong 56–63,
+//! Lee 64–75, Pierce 76–89, Saw 90–104. The benchmark-wide hard findings
+//! keep their paper numbering: **#4** (Assari), **#39** (Iverson),
+//! **#96** (Saw).
+
+pub mod assari2019;
+pub mod fairman2019;
+pub mod fruiht2018;
+mod helpers;
+pub mod iverson2021;
+pub mod jeong2021;
+pub mod lee2021;
+pub mod pierce2019;
+pub mod saw2018;
+
+#[cfg(test)]
+mod tests {
+    use crate::publication::all_publications;
+    use std::collections::HashSet;
+
+    #[test]
+    fn finding_ids_are_globally_unique() {
+        let mut seen = HashSet::new();
+        for paper in all_publications() {
+            for finding in paper.findings() {
+                assert!(seen.insert(finding.id), "duplicate id {}", finding.id);
+            }
+        }
+        assert_eq!(seen.len(), 104);
+    }
+
+    #[test]
+    fn hard_findings_have_their_paper_ids() {
+        for paper in all_publications() {
+            for finding in paper.findings() {
+                if finding.id == 4 || finding.id == 39 || finding.id == 96 {
+                    assert!(finding.name.contains("HARD"), "#{}", finding.id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_paper_has_findings_and_valid_dataset() {
+        for paper in all_publications() {
+            assert!(!paper.findings().is_empty(), "{}", paper.name());
+            let data = paper.generate(200, 3);
+            assert_eq!(data.n_rows(), 200);
+        }
+    }
+}

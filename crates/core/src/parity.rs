@@ -1,0 +1,178 @@
+//! Parity aggregation: turning per-cell results into Figure 4's series
+//! (mean parity vs ε and mean parity-variance vs ε, per synthesizer).
+
+use crate::benchmark::{CellStatus, PaperReport};
+use synrd_synth::SynthKind;
+
+/// Aggregated series per synthesizer across papers.
+#[derive(Debug, Clone)]
+pub struct AggregateSeries {
+    /// ε grid.
+    pub epsilons: Vec<f64>,
+    /// Per synthesizer: mean parity per ε (NaN where nothing ran).
+    pub parity: Vec<(SynthKind, Vec<f64>)>,
+    /// Per synthesizer: mean seed-variance per ε.
+    pub variance: Vec<(SynthKind, Vec<f64>)>,
+}
+
+/// Average Figure 3 cells over findings and papers into Figure 4 series.
+pub fn aggregate(reports: &[PaperReport]) -> AggregateSeries {
+    let Some(first) = reports.first() else {
+        return AggregateSeries {
+            epsilons: Vec::new(),
+            parity: Vec::new(),
+            variance: Vec::new(),
+        };
+    };
+    let epsilons = first.epsilons.clone();
+    let synths = first.synthesizers.clone();
+    let mut parity = Vec::with_capacity(synths.len());
+    let mut variance = Vec::with_capacity(synths.len());
+    for (s_idx, &kind) in synths.iter().enumerate() {
+        let mut p_series = Vec::with_capacity(epsilons.len());
+        let mut v_series = Vec::with_capacity(epsilons.len());
+        for e_idx in 0..epsilons.len() {
+            let mut p_sum = 0.0;
+            let mut v_sum = 0.0;
+            let mut count = 0usize;
+            for report in reports {
+                let cell = &report.cells[s_idx][e_idx];
+                if cell.status == CellStatus::Ok {
+                    let p = cell.mean_parity();
+                    let v = cell.mean_variance();
+                    if p.is_finite() {
+                        p_sum += p;
+                        v_sum += if v.is_finite() { v } else { 0.0 };
+                        count += 1;
+                    }
+                }
+            }
+            if count > 0 {
+                p_series.push(p_sum / count as f64);
+                v_series.push(v_sum / count as f64);
+            } else {
+                p_series.push(f64::NAN);
+                v_series.push(f64::NAN);
+            }
+        }
+        parity.push((kind, p_series));
+        variance.push((kind, v_series));
+    }
+    AggregateSeries {
+        epsilons,
+        parity,
+        variance,
+    }
+}
+
+/// Per-paper mean parity for one synthesizer across ε (Figure 3 block
+/// summary).
+pub fn paper_summary(report: &PaperReport) -> Vec<(SynthKind, f64)> {
+    report
+        .synthesizers
+        .iter()
+        .enumerate()
+        .map(|(s_idx, &kind)| {
+            let mut sum = 0.0;
+            let mut count = 0usize;
+            for cell in &report.cells[s_idx] {
+                if cell.status == CellStatus::Ok {
+                    let p = cell.mean_parity();
+                    if p.is_finite() {
+                        sum += p;
+                        count += 1;
+                    }
+                }
+            }
+            (kind, if count > 0 { sum / count as f64 } else { f64::NAN })
+        })
+        .collect()
+}
+
+/// Findings that never reproduce for any synthesizer at any ε — §7.2's
+/// "some findings were never reproduced by any of the synthesizers".
+pub fn never_reproduced(report: &PaperReport, threshold: f64) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (f_idx, &(id, _, _)) in report.findings.iter().enumerate() {
+        let mut any_ok_cell = false;
+        let mut max_parity = 0.0f64;
+        for row in &report.cells {
+            for cell in row {
+                if cell.status == CellStatus::Ok && cell.parity[f_idx].is_finite() {
+                    any_ok_cell = true;
+                    max_parity = max_parity.max(cell.parity[f_idx]);
+                }
+            }
+        }
+        if any_ok_cell && max_parity < threshold {
+            out.push(id);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmark::CellOutcome;
+    use crate::finding::FindingType;
+
+    fn toy_report(parities: Vec<Vec<f64>>) -> PaperReport {
+        // One synthesizer, len(parities) epsilons, 2 findings.
+        PaperReport {
+            paper_id: "toy",
+            paper_name: "Toy",
+            findings: vec![
+                (1, "a", FindingType::DescriptiveStatistics),
+                (2, "b", FindingType::CorrelationPearson),
+            ],
+            epsilons: (0..parities.len()).map(|i| i as f64 + 1.0).collect(),
+            synthesizers: vec![synrd_synth::SynthKind::Mst],
+            cells: vec![parities
+                .into_iter()
+                .map(|p| CellOutcome {
+                    seed_variance: vec![0.01; p.len()],
+                    parity: p,
+                    status: CellStatus::Ok,
+                    fit_seconds: 0.1,
+                })
+                .collect()],
+            control: vec![1.0, 1.0],
+            n_rows: 100,
+        }
+    }
+
+    #[test]
+    fn aggregate_averages_over_findings_and_papers() {
+        let r1 = toy_report(vec![vec![1.0, 0.0], vec![0.5, 0.5]]);
+        let r2 = toy_report(vec![vec![0.0, 1.0], vec![0.5, 0.5]]);
+        let agg = aggregate(&[r1, r2]);
+        assert_eq!(agg.parity.len(), 1);
+        let series = &agg.parity[0].1;
+        assert!((series[0] - 0.5).abs() < 1e-12);
+        assert!((series[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_reproduced_detects_hard_findings() {
+        // Finding 2 never exceeds 0.3 parity.
+        let r = toy_report(vec![vec![1.0, 0.2], vec![0.9, 0.3]]);
+        assert_eq!(never_reproduced(&r, 0.5), vec![2]);
+        assert!(never_reproduced(&r, 0.1).is_empty());
+    }
+
+    #[test]
+    fn paper_summary_means_over_ok_cells() {
+        let r = toy_report(vec![vec![1.0, 1.0], vec![0.0, 0.0]]);
+        let summary = paper_summary(&r);
+        assert_eq!(summary.len(), 1);
+        assert!((summary[0].1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_empty_is_empty() {
+        let agg = aggregate(&[]);
+        assert!(agg.parity.is_empty());
+        assert!(agg.epsilons.is_empty());
+    }
+}

@@ -1,0 +1,52 @@
+//! The [`Publication`] trait: one benchmark paper = one dataset + a set of
+//! computable findings (+ optionally a visual finding).
+
+use crate::finding::Finding;
+use crate::visual::VisualFinding;
+use synrd_data::{BenchmarkDataset, Dataset};
+
+/// A reproduced peer-reviewed paper.
+pub trait Publication: Send + Sync {
+    /// The dataset the paper derives (Table 1 row).
+    fn dataset(&self) -> BenchmarkDataset;
+
+    /// Citation-style display name.
+    fn name(&self) -> &'static str {
+        self.dataset().name()
+    }
+
+    /// The paper's findings, in global-id order.
+    fn findings(&self) -> Vec<Finding>;
+
+    /// Optional qualitative visual finding (Figure 1 of the paper).
+    fn visual(&self) -> Option<VisualFinding> {
+        None
+    }
+
+    /// Generate the paper's "real" data at a given scale.
+    fn generate(&self, n: usize, seed: u64) -> Dataset {
+        self.dataset().generate(n, seed)
+    }
+}
+
+/// All eight benchmark publications, in Figure 3 column order
+/// (alphabetical by first author, matching Table 1).
+pub fn all_publications() -> Vec<Box<dyn Publication>> {
+    vec![
+        Box::new(crate::papers::assari2019::Assari2019),
+        Box::new(crate::papers::fairman2019::Fairman2019),
+        Box::new(crate::papers::iverson2021::Iverson2021),
+        Box::new(crate::papers::fruiht2018::Fruiht2018),
+        Box::new(crate::papers::jeong2021::Jeong2021),
+        Box::new(crate::papers::lee2021::Lee2021),
+        Box::new(crate::papers::pierce2019::Pierce2019),
+        Box::new(crate::papers::saw2018::Saw2018),
+    ]
+}
+
+/// Look up a publication by its dataset id (e.g. `"saw2018"`).
+pub fn publication_by_id(id: &str) -> Option<Box<dyn Publication>> {
+    all_publications()
+        .into_iter()
+        .find(|p| p.dataset().id() == id)
+}

@@ -1,0 +1,175 @@
+//! Text rendering of the paper's tables and figures: the Figure 3 parity
+//! heatmap (with the "real, bootstrap" control row and crosshatch cells),
+//! the Figure 4 series, Table 1 and Table 2.
+
+use crate::benchmark::{CellStatus, PaperReport};
+use crate::finding::FindingType;
+use crate::parity::AggregateSeries;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use synrd_data::MetaFeatures;
+
+/// Map a parity in [0,1] to a shade character (dark = low parity, matching
+/// the paper's colormap direction).
+fn shade(parity: f64) -> char {
+    if !parity.is_finite() {
+        return '?';
+    }
+    const RAMP: [char; 10] = ['@', '%', '#', '*', '+', '=', '-', ':', '.', ' '];
+    let idx = (parity.clamp(0.0, 1.0) * (RAMP.len() - 1) as f64).round() as usize;
+    RAMP[idx]
+}
+
+/// Render one paper's Figure 3 block: rows = synthesizer × ε, columns =
+/// findings; `/` marks crosshatched (infeasible/timed-out) cells, `s`
+/// skipped ones. The last row is the bootstrap control.
+pub fn render_fig3_block(report: &PaperReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "=== {} (n = {}) — findings #{}..#{} ===",
+        report.paper_name,
+        report.n_rows,
+        report.findings.first().map(|f| f.0).unwrap_or(0),
+        report.findings.last().map(|f| f.0).unwrap_or(0),
+    );
+    let _ = writeln!(out, "legend: ' '=parity 1.0 … '@'=parity 0.0, '/'=could not fit, 's'=skipped");
+    for (s_idx, kind) in report.synthesizers.iter().enumerate() {
+        for (e_idx, eps) in report.epsilons.iter().enumerate() {
+            let cell = &report.cells[s_idx][e_idx];
+            let row: String = match &cell.status {
+                CellStatus::Ok => cell.parity.iter().map(|&p| shade(p)).collect(),
+                CellStatus::Infeasible(_) | CellStatus::TimedOut => {
+                    "/".repeat(report.findings.len())
+                }
+                CellStatus::Skipped => "s".repeat(report.findings.len()),
+            };
+            let _ = writeln!(
+                out,
+                "{:>10} eps={:<8.3} |{}| mean={:.3}",
+                kind.name(),
+                eps,
+                row,
+                cell.mean_parity()
+            );
+        }
+    }
+    let control_row: String = report.control.iter().map(|&p| shade(p)).collect();
+    let control_mean =
+        report.control.iter().sum::<f64>() / report.control.len().max(1) as f64;
+    let _ = writeln!(
+        out,
+        "{:>10} {:<12} |{}| mean={:.3}",
+        "real", "bootstrap", control_row, control_mean
+    );
+    out
+}
+
+/// Render the Figure 4 series as two aligned text tables.
+pub fn render_fig4(agg: &AggregateSeries) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== Figure 4 (left): mean epistemic parity vs epsilon ===");
+    let _ = write!(out, "{:>10} |", "synth");
+    for eps in &agg.epsilons {
+        let _ = write!(out, " {:>8.3}", eps);
+    }
+    let _ = writeln!(out);
+    for (kind, series) in &agg.parity {
+        let _ = write!(out, "{:>10} |", kind.name());
+        for v in series {
+            let _ = write!(out, " {:>8.3}", v);
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(out, "=== Figure 4 (right): mean parity variance vs epsilon ===");
+    for (kind, series) in &agg.variance {
+        let _ = write!(out, "{:>10} |", kind.name());
+        for v in series {
+            let _ = write!(out, " {:>8.4}", v);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Render Table 1 from computed meta-features.
+pub fn render_table1(rows: &[(&str, MetaFeatures)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<28} {:>9} {:>5} {:>10} {:>8} {:>15} {:>15} {:>15}",
+        "Paper", "Sample", "Vars", "Domain", "Outliers", "MutualInfo", "Skewness", "Sparsity"
+    );
+    for (name, mf) in rows {
+        let fmt_ms = |m: synrd_data::MeanStd| {
+            if m.mean.is_nan() {
+                "NaN".to_string()
+            } else {
+                format!("{:.3} ± {:.3}", m.mean, m.std)
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{:<28} {:>9} {:>5} {:>10.2e} {:>8} {:>15} {:>15} {:>15}",
+            name,
+            mf.sample_size,
+            mf.n_variables,
+            mf.domain_size,
+            mf.outliers,
+            fmt_ms(mf.mutual_information),
+            fmt_ms(mf.skewness),
+            fmt_ms(mf.sparsity),
+        );
+    }
+    out
+}
+
+/// Render Table 2: finding counts per type across all publications.
+pub fn render_table2(counts: &BTreeMap<&'static str, usize>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<45} {:>5}", "Method (finding type)", "Count");
+    let mut total = 0usize;
+    for (label, count) in counts {
+        let _ = writeln!(out, "{label:<45} {count:>5}");
+        total += count;
+    }
+    let _ = writeln!(out, "{:<45} {:>5}", "Total", total);
+    out
+}
+
+/// Count findings per type across publications (Table 2's content).
+pub fn finding_type_counts() -> BTreeMap<&'static str, usize> {
+    let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for t in FindingType::ALL {
+        counts.insert(t.label(), 0);
+    }
+    for paper in crate::publication::all_publications() {
+        for finding in paper.findings() {
+            *counts.entry(finding.kind.label()).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shade_is_monotone() {
+        assert_eq!(shade(1.0), ' ');
+        assert_eq!(shade(0.0), '@');
+        assert_eq!(shade(f64::NAN), '?');
+    }
+
+    #[test]
+    fn table2_counts_104_findings() {
+        let counts = finding_type_counts();
+        let total: usize = counts.values().sum();
+        assert_eq!(total, 104);
+        assert!(counts["Mean Difference / Between-Class"] >= 15);
+        assert_eq!(counts["Correlation / Spearman"], 1);
+        assert_eq!(counts["Causal Paths / Interaction"], 1);
+        assert_eq!(counts["Causal Paths / Variability"], 1);
+    }
+}

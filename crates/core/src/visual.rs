@@ -1,0 +1,140 @@
+//! Qualitative visual findings (§7.2, Figure 1).
+//!
+//! A visual finding is a figure the original paper printed; reproduction is
+//! judged by *subjective similarity*. We model the paper's Figure 1 — the
+//! distribution of first-substance use within each racial group from
+//! Fairman et al. — as a grouped proportion table, render it as an ASCII
+//! bar chart for eyeballing, and quantify "subjectively similar" with the
+//! mean per-group total-variation similarity.
+
+use crate::error::Result;
+use synrd_data::Dataset;
+
+/// A grouped-distribution visual finding: for every code of `group_attr`,
+/// the distribution over `value_attr`.
+#[derive(Debug, Clone)]
+pub struct VisualFinding {
+    /// Display name.
+    pub name: &'static str,
+    /// Attribute whose codes index the groups (e.g. race).
+    pub group_attr: &'static str,
+    /// Attribute whose within-group distribution is plotted.
+    pub value_attr: &'static str,
+}
+
+impl VisualFinding {
+    /// Figure 1 of the paper: first-substance distribution by race group
+    /// (Fairman et al.).
+    pub fn fairman_figure1() -> VisualFinding {
+        VisualFinding {
+            name: "Fairman et al. Figure 1: first substance by race",
+            group_attr: "race",
+            value_attr: "first_substance",
+        }
+    }
+
+    /// Proportion table `[group][value]` (rows sum to 1; NaN rows for empty
+    /// groups).
+    pub fn table(&self, ds: &Dataset) -> Result<Vec<Vec<f64>>> {
+        let group = ds.domain().index_of(self.group_attr)?;
+        let value = ds.domain().index_of(self.value_attr)?;
+        let g_card = ds.domain().cardinality(group)?;
+        let v_card = ds.domain().cardinality(value)?;
+        let mut counts = vec![vec![0.0f64; v_card]; g_card];
+        let g_col = ds.column(group)?;
+        let v_col = ds.column(value)?;
+        for (g, v) in g_col.iter().zip(v_col) {
+            counts[*g as usize][*v as usize] += 1.0;
+        }
+        for row in &mut counts {
+            let total: f64 = row.iter().sum();
+            if total > 0.0 {
+                row.iter_mut().for_each(|c| *c /= total);
+            } else {
+                row.iter_mut().for_each(|c| *c = f64::NAN);
+            }
+        }
+        Ok(counts)
+    }
+
+    /// Mean per-group total-variation *similarity* between two tables:
+    /// `1 − ½ Σ |p − q|` averaged over groups (1 = identical, 0 = disjoint).
+    /// Empty (NaN) groups are skipped on both sides.
+    pub fn similarity(real: &[Vec<f64>], synth: &[Vec<f64>]) -> f64 {
+        let mut total = 0.0;
+        let mut groups = 0usize;
+        for (p, q) in real.iter().zip(synth) {
+            if p.iter().chain(q.iter()).any(|v| !v.is_finite()) {
+                continue;
+            }
+            let tv: f64 = 0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>();
+            total += 1.0 - tv;
+            groups += 1;
+        }
+        if groups == 0 {
+            return 0.0;
+        }
+        total / groups as f64
+    }
+
+    /// Render a table as an ASCII grouped bar chart using the dataset's
+    /// attribute labels.
+    pub fn render(&self, ds: &Dataset, table: &[Vec<f64>]) -> Result<String> {
+        let group = ds.domain().index_of(self.group_attr)?;
+        let value = ds.domain().index_of(self.value_attr)?;
+        let g_attr = ds.domain().attribute(group)?;
+        let v_attr = ds.domain().attribute(value)?;
+        let mut out = String::new();
+        out.push_str(&format!("{}\n", self.name));
+        for (g, row) in table.iter().enumerate() {
+            out.push_str(&format!("  {}\n", g_attr.label(g as u32).unwrap_or("?")));
+            for (v, &p) in row.iter().enumerate() {
+                let bar_len = if p.is_finite() { (p * 50.0).round() as usize } else { 0 };
+                out.push_str(&format!(
+                    "    {:<12} {:>6.2}% |{}\n",
+                    v_attr.label(v as u32).unwrap_or("?"),
+                    p * 100.0,
+                    "#".repeat(bar_len)
+                ));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synrd_data::BenchmarkDataset;
+
+    #[test]
+    fn table_rows_are_distributions() {
+        let ds = BenchmarkDataset::Fairman2019.generate(20_000, 5);
+        let vf = VisualFinding::fairman_figure1();
+        let table = vf.table(&ds).unwrap();
+        assert_eq!(table.len(), 7); // 7 race groups
+        for row in &table {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn similarity_is_one_for_identical_and_lower_for_shifted() {
+        let a = vec![vec![0.5, 0.5], vec![0.9, 0.1]];
+        let b = vec![vec![0.4, 0.6], vec![0.9, 0.1]];
+        assert!((VisualFinding::similarity(&a, &a) - 1.0).abs() < 1e-12);
+        let s = VisualFinding::similarity(&a, &b);
+        assert!(s < 1.0 && s > 0.8, "s = {s}");
+    }
+
+    #[test]
+    fn render_contains_labels() {
+        let ds = BenchmarkDataset::Fairman2019.generate(2_000, 5);
+        let vf = VisualFinding::fairman_figure1();
+        let table = vf.table(&ds).unwrap();
+        let text = vf.render(&ds, &table).unwrap();
+        assert!(text.contains("marijuana"));
+        assert!(text.contains("white"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Minimal CSV reading/writing for datasets.
+//!
+//! Datasets are written with a header of attribute names and one label per
+//! cell. This exists so examples and bench binaries can persist artifacts
+//! without pulling a serialization dependency; it intentionally supports only
+//! the subset of CSV we emit (no quoting — labels must not contain commas or
+//! newlines, which the generators guarantee).
+
+use crate::dataset::Dataset;
+use crate::domain::Domain;
+use crate::error::{DataError, Result};
+use std::io::{BufRead, Write};
+
+/// Write `dataset` as CSV with a header row of attribute names.
+///
+/// # Errors
+/// Propagates I/O failures as a [`DataError::Csv`] with line 0.
+pub fn write_csv<W: Write>(dataset: &Dataset, out: &mut W) -> Result<()> {
+    let io_err = |e: std::io::Error| DataError::Csv {
+        line: 0,
+        message: e.to_string(),
+    };
+    let names: Vec<&str> = dataset
+        .domain()
+        .attributes()
+        .iter()
+        .map(|a| a.name())
+        .collect();
+    writeln!(out, "{}", names.join(",")).map_err(io_err)?;
+    let mut line = String::new();
+    for r in 0..dataset.n_rows() {
+        line.clear();
+        for a in 0..dataset.n_attrs() {
+            if a > 0 {
+                line.push(',');
+            }
+            let code = dataset.value(r, a)?;
+            let label = dataset
+                .domain()
+                .attribute(a)?
+                .label(code)
+                .expect("codes validated on construction");
+            line.push_str(label);
+        }
+        writeln!(out, "{line}").map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Read a CSV produced by [`write_csv`] back into a dataset over `domain`.
+///
+/// The header must match the domain's attribute names in order.
+///
+/// # Errors
+/// [`DataError::Csv`] for malformed input; label lookups that fail become
+/// per-line errors.
+pub fn read_csv<R: BufRead>(domain: &Domain, input: R) -> Result<Dataset> {
+    let mut lines = input.lines().enumerate();
+    let (_, header) = lines.next().ok_or(DataError::Csv {
+        line: 1,
+        message: "missing header".to_string(),
+    })?;
+    let header = header.map_err(|e| DataError::Csv {
+        line: 1,
+        message: e.to_string(),
+    })?;
+    let names: Vec<&str> = header.split(',').collect();
+    if names.len() != domain.len() {
+        return Err(DataError::Csv {
+            line: 1,
+            message: format!(
+                "header has {} columns, domain expects {}",
+                names.len(),
+                domain.len()
+            ),
+        });
+    }
+    for (i, name) in names.iter().enumerate() {
+        if domain.attribute(i)?.name() != *name {
+            return Err(DataError::Csv {
+                line: 1,
+                message: format!("header column {i} is `{name}`, domain expects `{}`",
+                    domain.attribute(i)?.name()),
+            });
+        }
+    }
+
+    let mut dataset = Dataset::with_capacity(domain.clone(), 1024);
+    let mut row = Vec::with_capacity(domain.len());
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let line = line.map_err(|e| DataError::Csv {
+            line: line_no,
+            message: e.to_string(),
+        })?;
+        if line.is_empty() {
+            continue;
+        }
+        row.clear();
+        for (a, cell) in line.split(',').enumerate() {
+            let attr = domain.attribute(a).map_err(|_| DataError::Csv {
+                line: line_no,
+                message: "too many cells".to_string(),
+            })?;
+            let code = attr.code_of(cell).ok_or_else(|| DataError::Csv {
+                line: line_no,
+                message: format!("unknown label `{cell}` for attribute `{}`", attr.name()),
+            })?;
+            row.push(code);
+        }
+        dataset.push_row(&row).map_err(|e| DataError::Csv {
+            line: line_no,
+            message: e.to_string(),
+        })?;
+    }
+    Ok(dataset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::Attribute;
+
+    #[test]
+    fn round_trip() {
+        let domain = Domain::new(vec![
+            Attribute::categorical_from("color", &["red", "green"]),
+            Attribute::ordinal("count", 3),
+        ]);
+        let ds = Dataset::new(domain.clone(), vec![vec![0, 1, 1], vec![2, 0, 1]]).unwrap();
+        let mut buf = Vec::new();
+        write_csv(&ds, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("color,count\n"));
+        let back = read_csv(&domain, &buf[..]).unwrap();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn rejects_header_mismatch() {
+        let domain = Domain::new(vec![Attribute::binary("a")]);
+        let err = read_csv(&domain, "b\nno\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, DataError::Csv { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_label() {
+        let domain = Domain::new(vec![Attribute::binary("a")]);
+        let err = read_csv(&domain, "a\nmaybe\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, DataError::Csv { line: 2, .. }));
+    }
+}

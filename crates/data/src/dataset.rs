@@ -1,0 +1,359 @@
+//! Column-major discrete dataset.
+//!
+//! Storage is one `Vec<u32>` of codes per attribute: marginal counting,
+//! per-column statistics and synthesizer fitting are all column-oriented, so
+//! this layout keeps hot loops over contiguous memory (see the Rust perf-book
+//! guidance on bounds checks and iteration).
+
+use crate::attribute::Attribute;
+use crate::domain::{validate_attr_set, Domain};
+use crate::error::{DataError, Result};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A discrete tabular dataset over a [`Domain`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    domain: Domain,
+    /// `columns[a][r]` is the code of attribute `a` in row `r`.
+    columns: Vec<Vec<u32>>,
+    rows: usize,
+}
+
+/// A lightweight view of one row, used by [`Dataset::filter_rows`].
+#[derive(Clone, Copy)]
+pub struct RowRef<'a> {
+    dataset: &'a Dataset,
+    row: usize,
+}
+
+impl<'a> RowRef<'a> {
+    /// Code of attribute `attr` in this row. Panics on bad index (the dataset
+    /// validated its shape on construction, so indices from the same domain
+    /// are always in range).
+    pub fn get(&self, attr: usize) -> u32 {
+        self.dataset.columns[attr][self.row]
+    }
+
+    /// Row index inside the parent dataset.
+    pub fn index(&self) -> usize {
+        self.row
+    }
+}
+
+impl Dataset {
+    /// Build a dataset from pre-validated columns.
+    ///
+    /// # Errors
+    /// - [`DataError::RaggedColumns`] if column lengths differ or the column
+    ///   count does not match the domain;
+    /// - [`DataError::CodeOutOfRange`] if any code exceeds its attribute's
+    ///   cardinality.
+    pub fn new(domain: Domain, columns: Vec<Vec<u32>>) -> Result<Self> {
+        if columns.len() != domain.len() {
+            return Err(DataError::RaggedColumns);
+        }
+        let rows = columns.first().map_or(0, Vec::len);
+        for col in &columns {
+            if col.len() != rows {
+                return Err(DataError::RaggedColumns);
+            }
+        }
+        for (a, col) in columns.iter().enumerate() {
+            let card = domain.cardinality(a)? as u32;
+            if let Some(&bad) = col.iter().find(|&&c| c >= card) {
+                return Err(DataError::CodeOutOfRange {
+                    attribute: domain.attribute(a)?.name().to_string(),
+                    code: bad,
+                    cardinality: card as usize,
+                });
+            }
+        }
+        Ok(Dataset {
+            domain,
+            columns,
+            rows,
+        })
+    }
+
+    /// An empty dataset over `domain` with row capacity reserved.
+    pub fn with_capacity(domain: Domain, capacity: usize) -> Self {
+        let columns = (0..domain.len())
+            .map(|_| Vec::with_capacity(capacity))
+            .collect();
+        Dataset {
+            domain,
+            columns,
+            rows: 0,
+        }
+    }
+
+    /// Append one row of codes.
+    ///
+    /// # Errors
+    /// [`DataError::RowArity`] / [`DataError::CodeOutOfRange`] on shape or
+    /// range mismatch. On error the dataset is unchanged.
+    pub fn push_row(&mut self, row: &[u32]) -> Result<()> {
+        if row.len() != self.domain.len() {
+            return Err(DataError::RowArity {
+                expected: self.domain.len(),
+                got: row.len(),
+            });
+        }
+        for (a, &code) in row.iter().enumerate() {
+            let card = self.domain.cardinality(a)? as u32;
+            if code >= card {
+                return Err(DataError::CodeOutOfRange {
+                    attribute: self.domain.attribute(a)?.name().to_string(),
+                    code,
+                    cardinality: card as usize,
+                });
+            }
+        }
+        for (a, &code) in row.iter().enumerate() {
+            self.columns[a].push(code);
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// The dataset's schema.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of attributes.
+    pub fn n_attrs(&self) -> usize {
+        self.domain.len()
+    }
+
+    /// Whether the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Codes of one attribute across all rows.
+    pub fn column(&self, attr: usize) -> Result<&[u32]> {
+        self.columns
+            .get(attr)
+            .map(Vec::as_slice)
+            .ok_or(DataError::AttributeIndexOutOfBounds {
+                index: attr,
+                len: self.columns.len(),
+            })
+    }
+
+    /// Codes of an attribute looked up by name.
+    pub fn column_by_name(&self, name: &str) -> Result<&[u32]> {
+        let idx = self.domain.index_of(name)?;
+        self.column(idx)
+    }
+
+    /// Numeric interpretation of a column (bin midpoints / scores / codes).
+    ///
+    /// # Errors
+    /// [`DataError::NotNumeric`] for categorical attributes.
+    pub fn numeric_column(&self, attr: usize) -> Result<Vec<f64>> {
+        let attribute = self.domain.attribute(attr)?;
+        self.column(attr)?
+            .iter()
+            .map(|&c| attribute.numeric(c))
+            .collect()
+    }
+
+    /// Code at `(row, attr)`.
+    pub fn value(&self, row: usize, attr: usize) -> Result<u32> {
+        let col = self.column(attr)?;
+        col.get(row).copied().ok_or(DataError::RowArity {
+            expected: self.rows,
+            got: row,
+        })
+    }
+
+    /// Project onto a subset of attributes, preserving the given order.
+    pub fn select(&self, attrs: &[usize]) -> Result<Dataset> {
+        validate_attr_set(self.domain.len(), attrs)?;
+        let domain = self.domain.project(attrs)?;
+        let columns = attrs.iter().map(|&a| self.columns[a].clone()).collect();
+        Ok(Dataset {
+            domain,
+            columns,
+            rows: self.rows,
+        })
+    }
+
+    /// Project onto attributes by name.
+    pub fn select_by_name(&self, names: &[&str]) -> Result<Dataset> {
+        let attrs: Result<Vec<usize>> = names.iter().map(|n| self.domain.index_of(n)).collect();
+        self.select(&attrs?)
+    }
+
+    /// Keep the rows for which `pred` returns true.
+    pub fn filter_rows(&self, pred: impl Fn(RowRef<'_>) -> bool) -> Dataset {
+        let keep: Vec<usize> = (0..self.rows)
+            .filter(|&r| {
+                pred(RowRef {
+                    dataset: self,
+                    row: r,
+                })
+            })
+            .collect();
+        self.take_rows(&keep)
+    }
+
+    /// Materialize a dataset from a list of row indices (may repeat rows, as
+    /// in bootstrap resampling).
+    pub fn take_rows(&self, rows: &[usize]) -> Dataset {
+        let columns = self
+            .columns
+            .iter()
+            .map(|col| rows.iter().map(|&r| col[r]).collect())
+            .collect();
+        Dataset {
+            domain: self.domain.clone(),
+            columns,
+            rows: rows.len(),
+        }
+    }
+
+    /// Uniform bootstrap resample of `n` rows (with replacement).
+    pub fn bootstrap_sample<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Dataset {
+        let rows: Vec<usize> = (0..n).map(|_| rng.gen_range(0..self.rows)).collect();
+        self.take_rows(&rows)
+    }
+
+    /// Subsample `n` distinct rows without replacement (or all rows if
+    /// `n >= n_rows`).
+    pub fn subsample<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Dataset {
+        if n >= self.rows {
+            return self.clone();
+        }
+        let mut idx: Vec<usize> = (0..self.rows).collect();
+        idx.shuffle(rng);
+        idx.truncate(n);
+        self.take_rows(&idx)
+    }
+
+    /// Count of each code of one attribute: `counts[code]`.
+    pub fn value_counts(&self, attr: usize) -> Result<Vec<f64>> {
+        let card = self.domain.cardinality(attr)?;
+        let mut counts = vec![0.0; card];
+        for &c in self.column(attr)? {
+            counts[c as usize] += 1.0;
+        }
+        Ok(counts)
+    }
+
+    /// Mean of the numeric interpretation of an attribute. For binary
+    /// attributes this is the proportion of 1s.
+    pub fn mean_of(&self, attr: usize) -> Result<f64> {
+        let vals = self.numeric_column(attr)?;
+        if vals.is_empty() {
+            return Ok(f64::NAN);
+        }
+        Ok(vals.iter().sum::<f64>() / vals.len() as f64)
+    }
+
+    /// Proportion of rows whose attribute equals `code`.
+    pub fn proportion(&self, attr: usize, code: u32) -> Result<f64> {
+        let col = self.column(attr)?;
+        if col.is_empty() {
+            return Ok(f64::NAN);
+        }
+        let hits = col.iter().filter(|&&c| c == code).count();
+        Ok(hits as f64 / col.len() as f64)
+    }
+
+    /// Row indices where `attr == code`.
+    pub fn rows_where(&self, attr: usize, code: u32) -> Result<Vec<usize>> {
+        Ok(self
+            .column(attr)?
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == code)
+            .map(|(r, _)| r)
+            .collect())
+    }
+
+    /// Extract an [`Attribute`] reference by name.
+    pub fn attribute_by_name(&self, name: &str) -> Result<&Attribute> {
+        let idx = self.domain.index_of(name)?;
+        self.domain.attribute(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> Dataset {
+        let domain = Domain::new(vec![
+            Attribute::binary("treated"),
+            Attribute::ordinal("score", 5),
+        ]);
+        Dataset::new(domain, vec![vec![0, 1, 1, 0, 1], vec![0, 4, 3, 1, 4]]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_shape_and_codes() {
+        let domain = Domain::new(vec![Attribute::binary("b")]);
+        assert!(matches!(
+            Dataset::new(domain.clone(), vec![vec![0], vec![1]]),
+            Err(DataError::RaggedColumns)
+        ));
+        assert!(matches!(
+            Dataset::new(domain, vec![vec![0, 2]]),
+            Err(DataError::CodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn push_row_is_atomic_on_error() {
+        let mut ds = toy();
+        let before = ds.n_rows();
+        assert!(ds.push_row(&[1]).is_err());
+        assert!(ds.push_row(&[1, 9]).is_err());
+        assert_eq!(ds.n_rows(), before);
+        ds.push_row(&[1, 2]).unwrap();
+        assert_eq!(ds.n_rows(), before + 1);
+    }
+
+    #[test]
+    fn select_and_filter() {
+        let ds = toy();
+        let only_score = ds.select_by_name(&["score"]).unwrap();
+        assert_eq!(only_score.n_attrs(), 1);
+        assert_eq!(only_score.column(0).unwrap(), &[0, 4, 3, 1, 4]);
+
+        let treated = ds.filter_rows(|r| r.get(0) == 1);
+        assert_eq!(treated.n_rows(), 3);
+        assert_eq!(treated.column(1).unwrap(), &[4, 3, 4]);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        let ds = toy();
+        assert!((ds.mean_of(0).unwrap() - 0.6).abs() < 1e-12);
+        assert!((ds.proportion(1, 4).unwrap() - 0.4).abs() < 1e-12);
+        assert_eq!(ds.value_counts(1).unwrap(), vec![1.0, 1.0, 0.0, 1.0, 2.0]);
+        assert_eq!(ds.rows_where(0, 0).unwrap(), vec![0, 3]);
+    }
+
+    #[test]
+    fn bootstrap_preserves_schema_and_size() {
+        let ds = toy();
+        let mut rng = StdRng::seed_from_u64(7);
+        let bs = ds.bootstrap_sample(100, &mut rng);
+        assert_eq!(bs.n_rows(), 100);
+        assert_eq!(bs.domain(), ds.domain());
+        let sub = ds.subsample(2, &mut rng);
+        assert_eq!(sub.n_rows(), 2);
+    }
+}

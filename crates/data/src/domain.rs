@@ -1,0 +1,188 @@
+//! A [`Domain`] is the ordered schema of a dataset: its attributes and their
+//! cardinalities. Domains are cheap to clone relative to datasets and are the
+//! currency between the data substrate, the graphical-model substrate and the
+//! synthesizers.
+
+use crate::attribute::Attribute;
+use crate::error::{DataError, Result};
+
+/// Ordered collection of attributes; the schema of a [`crate::Dataset`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Domain {
+    attributes: Vec<Attribute>,
+}
+
+impl Domain {
+    /// Build a domain from attributes. Attribute names should be unique;
+    /// lookups by name return the first match.
+    pub fn new(attributes: Vec<Attribute>) -> Self {
+        Domain { attributes }
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Whether the domain has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    /// All attributes in order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Attribute by index.
+    ///
+    /// # Errors
+    /// [`DataError::AttributeIndexOutOfBounds`] when out of range.
+    pub fn attribute(&self, index: usize) -> Result<&Attribute> {
+        self.attributes
+            .get(index)
+            .ok_or(DataError::AttributeIndexOutOfBounds {
+                index,
+                len: self.attributes.len(),
+            })
+    }
+
+    /// Index of an attribute by name.
+    ///
+    /// # Errors
+    /// [`DataError::UnknownAttribute`] when absent.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.attributes
+            .iter()
+            .position(|a| a.name() == name)
+            .ok_or_else(|| DataError::UnknownAttribute(name.to_string()))
+    }
+
+    /// Cardinality of the attribute at `index`.
+    pub fn cardinality(&self, index: usize) -> Result<usize> {
+        Ok(self.attribute(index)?.cardinality())
+    }
+
+    /// Cardinalities of all attributes, in order.
+    pub fn shape(&self) -> Vec<usize> {
+        self.attributes.iter().map(Attribute::cardinality).collect()
+    }
+
+    /// Total domain size as a float (products like HSLS's 7.04e42 overflow
+    /// every integer type, so this is deliberately `f64`).
+    pub fn size(&self) -> f64 {
+        self.attributes
+            .iter()
+            .map(|a| a.cardinality() as f64)
+            .product()
+    }
+
+    /// Exact cell count for a *subset* of attributes, for materializing
+    /// marginal tables.
+    ///
+    /// # Errors
+    /// Propagates bad indices; duplicates are rejected.
+    pub fn cells(&self, attrs: &[usize]) -> Result<u128> {
+        validate_attr_set(self.len(), attrs)?;
+        let mut total: u128 = 1;
+        for &a in attrs {
+            total = total.saturating_mul(self.cardinality(a)? as u128);
+        }
+        Ok(total)
+    }
+
+    /// Project the domain onto a subset of attribute indices (in the given
+    /// order).
+    pub fn project(&self, attrs: &[usize]) -> Result<Domain> {
+        let mut out = Vec::with_capacity(attrs.len());
+        for &a in attrs {
+            out.push(self.attribute(a)?.clone());
+        }
+        Ok(Domain::new(out))
+    }
+
+    /// Indices of attributes that carry a numeric interpretation.
+    pub fn numeric_attrs(&self) -> Vec<usize> {
+        self.attributes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.is_numeric())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Validate an attribute-index set: non-empty, in-bounds, distinct.
+pub(crate) fn validate_attr_set(domain_len: usize, attrs: &[usize]) -> Result<()> {
+    if attrs.is_empty() {
+        return Err(DataError::EmptyAttributeSet);
+    }
+    let mut seen = vec![false; domain_len];
+    for &a in attrs {
+        if a >= domain_len {
+            return Err(DataError::AttributeIndexOutOfBounds {
+                index: a,
+                len: domain_len,
+            });
+        }
+        if seen[a] {
+            return Err(DataError::DuplicateAttribute(a));
+        }
+        seen[a] = true;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Domain {
+        Domain::new(vec![
+            Attribute::binary("a"),
+            Attribute::ordinal("b", 3),
+            Attribute::categorical_from("c", &["x", "y", "z", "w"]),
+        ])
+    }
+
+    #[test]
+    fn size_and_shape() {
+        let d = toy();
+        assert_eq!(d.shape(), vec![2, 3, 4]);
+        assert_eq!(d.size(), 24.0);
+        assert_eq!(d.cells(&[0, 2]).unwrap(), 8);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let d = toy();
+        assert_eq!(d.index_of("b").unwrap(), 1);
+        assert!(matches!(
+            d.index_of("nope"),
+            Err(DataError::UnknownAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn project_preserves_order() {
+        let d = toy().project(&[2, 0]).unwrap();
+        assert_eq!(d.attribute(0).unwrap().name(), "c");
+        assert_eq!(d.attribute(1).unwrap().name(), "a");
+    }
+
+    #[test]
+    fn rejects_duplicates_and_out_of_bounds() {
+        let d = toy();
+        assert!(matches!(
+            d.cells(&[1, 1]),
+            Err(DataError::DuplicateAttribute(1))
+        ));
+        assert!(d.cells(&[7]).is_err());
+        assert!(matches!(d.cells(&[]), Err(DataError::EmptyAttributeSet)));
+    }
+
+    #[test]
+    fn numeric_attrs_skip_categorical() {
+        assert_eq!(toy().numeric_attrs(), vec![0, 1]);
+    }
+}

@@ -1,0 +1,252 @@
+//! Synthetic populations for the two ACL (Americans' Changing Lives) papers.
+
+use crate::attribute::Attribute;
+use crate::dataset::Dataset;
+use crate::domain::Domain;
+use crate::generators::util::{bernoulli, bin_z, categorical, clamp_code, normal, sigmoid};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Mean years of schooling at baseline — Assari & Bazargan's hard finding #4:
+/// "overall, people had 12.53 years of schooling at baseline
+/// (95% CI = 12.34–12.73)".
+pub const ASSARI_EDU_MEAN: f64 = 12.53;
+
+/// Assari & Bazargan (2019): baseline obesity and 25-year cerebrovascular
+/// mortality, by race. 16 variables, domain ≈ 4e9.
+///
+/// Planted structure:
+/// * ACL oversampled Black adults: P(black) = 0.5.
+/// * Education years ~ N(12.53, 3.1) clamped to 0–20 (finding #4).
+/// * Cerebrovascular death (~4% of the sample) rises with age, smoking,
+///   hypertension and low education; **obesity raises it only for Black
+///   respondents** — the paper's race-specific effect. The pooled
+///   obesity–death association is therefore ≈ 0 (the "null overall" finding
+///   whose check appears verbatim in the paper's SynRD code listing).
+pub fn assari2019(n: usize, seed: u64) -> Dataset {
+    let domain = Domain::new(vec![
+        Attribute::categorical_from("race", &["white", "black"]),
+        Attribute::categorical_from("sex", &["male", "female"]),
+        Attribute::binned("age", 25.0, 93.0, 17),
+        Attribute::ordinal_scored("education", (0..=20).map(|y| y as f64).collect()),
+        Attribute::ordinal("income", 20),
+        Attribute::binary("obesity"),
+        Attribute::binary("smoking"),
+        Attribute::binary("drinking"),
+        Attribute::ordinal("exercise", 4),
+        Attribute::ordinal("chronic_conditions", 5),
+        Attribute::binary("depression"),
+        Attribute::ordinal("self_rated_health", 5),
+        Attribute::ordinal("bmi_cat", 4),
+        Attribute::binary("hypertension"),
+        Attribute::binary("cerebro_death"),
+        Attribute::ordinal("wave_death", 6),
+    ]);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ds = Dataset::with_capacity(domain, n);
+
+    for _ in 0..n {
+        let race = bernoulli(&mut rng, 0.5); // 1 = black (oversample design)
+        let sex = bernoulli(&mut rng, 0.62); // ACL skews female
+        let age_z = normal(&mut rng) * 0.9;
+        let age = bin_z(age_z, 17, 2.5);
+        let edu_years = (ASSARI_EDU_MEAN + 3.1 * normal(&mut rng)
+            - 0.55 * race as f64)
+            .round()
+            .clamp(0.0, 20.0);
+        let education = edu_years as u32;
+        let edu_z = (edu_years - 12.0) / 3.1;
+        let income = clamp_code(
+            10.0 + 3.5 * edu_z - 1.2 * race as f64 + 3.0 * normal(&mut rng),
+            20,
+        );
+        let obesity = bernoulli(&mut rng, 0.26 + 0.09 * race as f64);
+        let smoking = bernoulli(&mut rng, 0.33 - 0.02 * edu_z);
+        let drinking = bernoulli(&mut rng, 0.52 + 0.02 * edu_z);
+        let exercise = categorical(&mut rng, &[0.25, 0.35, 0.25, 0.15]);
+        let chronic = {
+            let lambda = 0.9 + 0.55 * (age as f64 / 16.0) + 0.25 * obesity as f64;
+            clamp_code(lambda + 1.0 * normal(&mut rng), 5)
+        };
+        let depression = bernoulli(&mut rng, 0.12 + 0.03 * chronic as f64 / 4.0);
+        let srh = clamp_code(
+            3.1 - 0.5 * chronic as f64 / 2.0 - 0.3 * depression as f64 + 0.9 * normal(&mut rng),
+            5,
+        );
+        let bmi_cat = if obesity == 1 {
+            3
+        } else {
+            categorical(&mut rng, &[0.18, 0.52, 0.30])
+        };
+        let hypertension = bernoulli(
+            &mut rng,
+            sigmoid(-1.2 + 0.5 * age_z + 0.25 * obesity as f64 + 0.10 * race as f64),
+        );
+
+        // Obesity raises cerebrovascular death only among Black respondents.
+        // The negative White term offsets the indirect obesity→hypertension→
+        // death path so the *pooled* association stays null (|corr| < 0.04),
+        // as the paper reports.
+        let obesity_effect = if race == 1 { 0.55 } else { -0.34 };
+        let death_logit = -3.85 + 1.05 * age_z + 0.30 * smoking as f64
+            + 0.35 * hypertension as f64
+            - 0.22 * edu_z
+            + obesity_effect * obesity as f64;
+        let cerebro_death = bernoulli(&mut rng, sigmoid(death_logit));
+        let wave_death = if cerebro_death == 1 {
+            1 + categorical(&mut rng, &[0.15, 0.20, 0.25, 0.22, 0.18])
+        } else {
+            0
+        };
+
+        ds.push_row(&[
+            race,
+            sex,
+            age,
+            education,
+            income,
+            obesity,
+            smoking,
+            drinking,
+            exercise,
+            chronic,
+            depression,
+            srh,
+            bmi_cat,
+            hypertension,
+            cerebro_death,
+            wave_death,
+        ])
+        .expect("codes generated in range");
+    }
+    ds
+}
+
+/// Pierce & Quiroz (2019): social support, social strain, and emotions.
+/// 17 variables, domain ≈ 4e12 (paper: 7.19e11).
+///
+/// Planted structure (all scales z-latent, binned):
+/// * Positive emotions ← spousal support (large), friend support (small),
+///   child support (smaller).
+/// * Negative emotions ← spousal strain (large), child strain (medium),
+///   friend strain (≈ 0, the paper's null).
+pub fn pierce2019(n: usize, seed: u64) -> Dataset {
+    let domain = Domain::new(vec![
+        Attribute::ordinal("pos_emotions", 15),
+        Attribute::ordinal("neg_emotions", 15),
+        Attribute::ordinal("spouse_support", 8),
+        Attribute::ordinal("spouse_strain", 8),
+        Attribute::ordinal("child_support", 8),
+        Attribute::ordinal("child_strain", 8),
+        Attribute::ordinal("friend_support", 8),
+        Attribute::ordinal("friend_strain", 8),
+        Attribute::ordinal("income", 6),
+        Attribute::ordinal("education", 6),
+        Attribute::ordinal("age", 6),
+        Attribute::ordinal("n_confidants", 6),
+        Attribute::categorical_from("sex", &["male", "female"]),
+        Attribute::ordinal("wave", 3),
+        Attribute::binary("married"),
+        Attribute::binary("has_child"),
+        Attribute::binary("has_friends"),
+    ]);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ds = Dataset::with_capacity(domain, n);
+
+    for _ in 0..n {
+        let ses = normal(&mut rng);
+        let sociability = normal(&mut rng);
+        let spouse_sup = 0.3 * sociability + 0.95 * normal(&mut rng);
+        let spouse_str = -0.25 * spouse_sup + 0.95 * normal(&mut rng);
+        let child_sup = 0.25 * sociability + 0.95 * normal(&mut rng);
+        let child_str = -0.15 * child_sup + 0.95 * normal(&mut rng);
+        let friend_sup = 0.35 * sociability + 0.9 * normal(&mut rng);
+        let friend_str = 0.95 * normal(&mut rng);
+
+        let pos = 0.62 * spouse_sup + 0.22 * friend_sup + 0.12 * child_sup + 0.1 * ses
+            + 0.72 * normal(&mut rng);
+        let neg = 0.58 * spouse_str + 0.38 * child_str + 0.03 * friend_str - 0.1 * ses
+            + 0.75 * normal(&mut rng);
+
+        ds.push_row(&[
+            bin_z(pos, 15, 2.8),
+            bin_z(neg, 15, 2.8),
+            bin_z(spouse_sup, 8, 2.5),
+            bin_z(spouse_str, 8, 2.5),
+            bin_z(child_sup, 8, 2.5),
+            bin_z(child_str, 8, 2.5),
+            bin_z(friend_sup, 8, 2.5),
+            bin_z(friend_str, 8, 2.5),
+            bin_z(0.8 * ses + 0.6 * normal(&mut rng), 6, 2.2),
+            bin_z(0.75 * ses + 0.66 * normal(&mut rng), 6, 2.2),
+            categorical(&mut rng, &[0.15, 0.2, 0.22, 0.2, 0.15, 0.08]),
+            bin_z(0.5 * sociability + 0.87 * normal(&mut rng), 6, 2.2),
+            bernoulli(&mut rng, 0.58),
+            categorical(&mut rng, &[0.4, 0.33, 0.27]),
+            bernoulli(&mut rng, 0.97),
+            bernoulli(&mut rng, 0.96),
+            bernoulli(&mut rng, 0.98),
+        ])
+        .expect("codes generated in range");
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assari_education_mean_matches_finding_4() {
+        let ds = assari2019(60_000, 31);
+        let edu = ds.domain().index_of("education").unwrap();
+        let mean = ds.mean_of(edu).unwrap();
+        assert!((mean - 12.25).abs() < 0.25, "mean = {mean:.3}");
+    }
+
+    #[test]
+    fn assari_obesity_death_race_specific() {
+        let ds = assari2019(200_000, 32);
+        let corr = |data: &Dataset| {
+            let ob = data.numeric_column(5).unwrap();
+            let de = data.numeric_column(14).unwrap();
+            pearson(&ob, &de)
+        };
+        let black = ds.filter_rows(|r| r.get(0) == 1);
+        let white = ds.filter_rows(|r| r.get(0) == 0);
+        assert!(corr(&black) > 0.03, "black corr = {:.4}", corr(&black));
+        assert!(corr(&white).abs() < 0.025, "white corr = {:.4}", corr(&white));
+        assert!(corr(&ds).abs() < 0.035, "pooled corr = {:.4}", corr(&ds));
+    }
+
+    #[test]
+    fn assari_death_rate_plausible() {
+        let ds = assari2019(100_000, 33);
+        let p = ds.mean_of(14).unwrap();
+        assert!((0.025..0.08).contains(&p), "death rate = {p:.4}");
+    }
+
+    #[test]
+    fn pierce_spousal_effects_dominate() {
+        let ds = pierce2019(40_000, 34);
+        let pos = ds.numeric_column(0).unwrap();
+        let neg = ds.numeric_column(1).unwrap();
+        let r_pos_ssup = pearson(&pos, &ds.numeric_column(2).unwrap());
+        let r_pos_fsup = pearson(&pos, &ds.numeric_column(6).unwrap());
+        let r_neg_sstr = pearson(&neg, &ds.numeric_column(3).unwrap());
+        let r_neg_fstr = pearson(&neg, &ds.numeric_column(7).unwrap());
+        assert!(r_pos_ssup > r_pos_fsup + 0.1, "{r_pos_ssup:.3} vs {r_pos_fsup:.3}");
+        assert!(r_neg_sstr > 0.3, "{r_neg_sstr:.3}");
+        assert!(r_neg_fstr.abs() < 0.06, "{r_neg_fstr:.3}");
+    }
+
+    fn pearson(x: &[f64], y: &[f64]) -> f64 {
+        let n = x.len() as f64;
+        let mx = x.iter().sum::<f64>() / n;
+        let my = y.iter().sum::<f64>() / n;
+        let cov: f64 = x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum();
+        let vx: f64 = x.iter().map(|a| (a - mx).powi(2)).sum();
+        let vy: f64 = y.iter().map(|b| (b - my).powi(2)).sum();
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}

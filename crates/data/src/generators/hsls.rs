@@ -1,0 +1,303 @@
+//! Synthetic populations for the three HSLS:09 papers.
+//!
+//! HSLS:09 (High School Longitudinal Study of 2009) follows ~23k U.S. 9th
+//! graders. Each generator below produces the paper-specific variable subset
+//! with planted relationships matching the published findings; see the
+//! per-function docs for the exact structural model.
+
+use crate::attribute::Attribute;
+use crate::dataset::Dataset;
+use crate::domain::Domain;
+use crate::generators::util::{bernoulli, bin_z, categorical, normal, sigmoid};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Persistence rates P(aspire in 11th | aspired in 9th) by SES quartile
+/// (low, low-middle, high-middle, high) — the values behind Saw et al.'s
+/// hard finding #96: "31.9% and 29.9% ... than their high SES peers (45.1%)".
+pub const SAW_PERSIST_BY_SES: [f64; 4] = [0.299, 0.319, 0.380, 0.451];
+
+/// Emergence rates P(aspire in 11th | no aspiration in 9th) by SES quartile:
+/// "emergers (6.1% and 5.4%) ... high SES peers (9.0%)".
+pub const SAW_EMERGE_BY_SES: [f64; 4] = [0.054, 0.061, 0.075, 0.090];
+
+/// Saw, Chang & Chan (2018): STEM career aspirations at the intersection of
+/// gender, race/ethnicity and SES. 9 variables, domain ≈ 4.3e4.
+///
+/// Planted structure:
+/// * Boys aspire in 9th grade at ~3× the rate of girls (logit gap 1.25).
+/// * Aspiration rises with SES and math achievement.
+/// * Persistence/emergence rates follow [`SAW_PERSIST_BY_SES`] /
+///   [`SAW_EMERGE_BY_SES`] with a small male bonus.
+/// * `persister`/`emerger` are derived columns (as in the paper's
+///   preprocessing), so synthesizers must capture a 3-way interaction to
+///   reproduce finding #96.
+pub fn saw2018(n: usize, seed: u64) -> Dataset {
+    let domain = Domain::new(vec![
+        Attribute::categorical_from("sex", &["male", "female"]),
+        Attribute::categorical_from(
+            "race",
+            &["white", "black", "hispanic", "asian", "native", "multiracial"],
+        ),
+        Attribute::ordinal("ses", 4),
+        Attribute::ordinal("parent_edu", 4),
+        Attribute::ordinal("math9", 14),
+        Attribute::binary("stem_asp_9"),
+        Attribute::binary("stem_asp_11"),
+        Attribute::binary("persister"),
+        Attribute::binary("emerger"),
+    ]);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ds = Dataset::with_capacity(domain, n);
+
+    // SES distribution by race (rows: white..multiracial).
+    const SES_BY_RACE: [[f64; 4]; 6] = [
+        [0.18, 0.22, 0.30, 0.30],
+        [0.35, 0.30, 0.22, 0.13],
+        [0.38, 0.30, 0.20, 0.12],
+        [0.20, 0.20, 0.28, 0.32],
+        [0.40, 0.30, 0.20, 0.10],
+        [0.25, 0.27, 0.26, 0.22],
+    ];
+
+    for _ in 0..n {
+        let sex = bernoulli(&mut rng, 0.505); // 1 = female
+        let race = categorical(&mut rng, &[0.52, 0.13, 0.22, 0.04, 0.01, 0.08]);
+        let ses = categorical(&mut rng, &SES_BY_RACE[race as usize]);
+        let parent_edu = {
+            let jitter = normal(&mut rng) * 0.9;
+            (ses as f64 + jitter).round().clamp(0.0, 3.0) as u32
+        };
+        let ses_z = (ses as f64 - 1.5) / 1.5;
+        let math_latent = 0.55 * ses_z + 0.30 * ((parent_edu as f64 - 1.5) / 1.5)
+            + 0.8 * normal(&mut rng);
+        let math9 = bin_z(math_latent, 14, 2.8);
+        let math_z = (math9 as f64 - 6.5) / 6.5;
+
+        let male = 1.0 - sex as f64;
+        let race_adj = match race {
+            1 | 2 | 4 => -0.15, // black, hispanic, native
+            3 => 0.25,          // asian
+            _ => 0.0,
+        };
+        let asp9_logit = -1.92 + 1.25 * male + 0.28 * ses_z + 0.35 * math_z + race_adj;
+        let asp9 = bernoulli(&mut rng, sigmoid(asp9_logit));
+
+        let sex_bonus = if sex == 0 { 0.018 } else { -0.018 };
+        let p11 = if asp9 == 1 {
+            SAW_PERSIST_BY_SES[ses as usize] + sex_bonus
+        } else {
+            SAW_EMERGE_BY_SES[ses as usize] + sex_bonus * 0.6
+        };
+        let asp11 = bernoulli(&mut rng, p11);
+
+        let persister = u32::from(asp9 == 1 && asp11 == 1);
+        let emerger = u32::from(asp9 == 0 && asp11 == 1);
+        ds.push_row(&[sex, race, ses, parent_edu, math9, asp9, asp11, persister, emerger])
+            .expect("codes generated in range");
+    }
+    ds
+}
+
+/// Lee & Simpkins (2021): adolescents' math performance under low teacher
+/// support. 9 quasi-continuous variables binned at 60–120 levels,
+/// domain ≈ 5.2e17 — the high-mutual-information dataset of Table 1.
+///
+/// Planted structure (z-scored latents, shared ability factor θ):
+/// * `math11 = 0.45θ + 0.25·ability_sc + 0.18·parent_sup + 0.12·teacher_sup
+///   − 0.08·(ability_sc × teacher_sup) + noise`. The negative interaction is
+///   the paper's protective effect: high ability self-concept buffers low
+///   teacher support.
+/// * `r(math9, math11) > 0.7` ("strong" by the paper's convention).
+pub fn lee2021(n: usize, seed: u64) -> Dataset {
+    let domain = Domain::new(vec![
+        Attribute::binned("math9", -4.0, 4.0, 120),
+        Attribute::binned("math11", -4.0, 4.0, 120),
+        Attribute::binned("ability_self_concept", -3.0, 3.0, 100),
+        Attribute::binned("teacher_support", -3.0, 3.0, 100),
+        Attribute::binned("parent_support", -3.0, 3.0, 100),
+        Attribute::binned("ses", -3.0, 3.0, 100),
+        Attribute::binned("prior_achievement", -3.0, 3.0, 100),
+        Attribute::binned("school_belonging", -3.0, 3.0, 60),
+        Attribute::binned("english9", -3.0, 3.0, 60),
+    ]);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ds = Dataset::with_capacity(domain, n);
+
+    for _ in 0..n {
+        let theta = normal(&mut rng);
+        let ses = 0.40 * theta + 0.917 * normal(&mut rng);
+        let prior = 0.80 * theta + 0.30 * ses + 0.50 * normal(&mut rng);
+        let math9 = 0.80 * theta + 0.20 * ses + 0.45 * normal(&mut rng);
+        let ability = 0.60 * theta + 0.70 * normal(&mut rng);
+        let teacher = 0.15 * theta + 0.10 * ses + 0.95 * normal(&mut rng);
+        let parent = 0.20 * theta + 0.45 * ses + 0.85 * normal(&mut rng);
+        let belong = 0.30 * parent + 0.20 * teacher + 0.90 * normal(&mut rng);
+        let english = 0.65 * theta + 0.25 * ses + 0.70 * normal(&mut rng);
+        let math11 = 0.45 * theta + 0.38 * math9 + 0.25 * ability + 0.18 * parent
+            + 0.12 * teacher
+            - 0.08 * (ability * teacher)
+            + 0.40 * normal(&mut rng);
+
+        ds.push_row(&[
+            bin_z(math9, 120, 4.0),
+            bin_z(math11, 120, 4.0),
+            bin_z(ability, 100, 3.0),
+            bin_z(teacher, 100, 3.0),
+            bin_z(parent, 100, 3.0),
+            bin_z(ses, 100, 3.0),
+            bin_z(prior, 100, 3.0),
+            bin_z(belong, 60, 3.0),
+            bin_z(english, 60, 3.0),
+        ])
+        .expect("codes generated in range");
+    }
+    ds
+}
+
+/// Number of 6-level survey items in the Jeong et al. subset.
+pub const JEONG_SURVEY_VARS: usize = 51;
+
+/// Jeong et al. (2021): racial bias in classifiers predicting 9th-grade math
+/// performance. 57 variables (6 structural + 51 weak survey items),
+/// domain ≈ 1.2e43 — the huge-domain dataset no PGM-based synthesizer can fit.
+///
+/// Planted structure:
+/// * `race_group` ∈ {privileged (White/Asian), disadvantaged (Black/
+///   Hispanic/Native American)}; privileged share 55%.
+/// * Latent achievement = 0.35·(±1 by group) + 0.40·ses + noise; the label
+///   `top50` thresholds it at 0. Group base-rate difference makes any
+///   threshold classifier show FPR(privileged) ≈ 2× FPR(disadvantaged) and
+///   the FNR reversed — the paper's headline finding.
+/// * Survey items load on achievement with weights 0.10–0.35, giving the low
+///   pairwise MI (≈0.02) of Table 1.
+pub fn jeong2021(n: usize, seed: u64) -> Dataset {
+    let mut attrs = vec![
+        Attribute::categorical_from("race_group", &["privileged", "disadvantaged"]),
+        Attribute::categorical_from("sex", &["male", "female"]),
+        Attribute::binary("top50"),
+        Attribute::ordinal("ses", 10),
+        Attribute::ordinal("prior_math", 8),
+        Attribute::categorical_from("locale", &["city", "suburb", "town", "rural"]),
+    ];
+    for i in 0..JEONG_SURVEY_VARS {
+        attrs.push(Attribute::ordinal(format!("survey_{i:02}"), 6));
+    }
+    let domain = Domain::new(attrs);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Fixed (per-dataset, not per-row) survey loadings, derived from the seed
+    // so the *population* is deterministic given (n, seed).
+    let mut loading_rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let loadings: Vec<f64> = (0..JEONG_SURVEY_VARS)
+        .map(|_| 0.10 + 0.25 * rand::Rng::gen::<f64>(&mut loading_rng))
+        .collect();
+
+    let mut ds = Dataset::with_capacity(domain, n);
+    for _ in 0..n {
+        let disadvantaged = bernoulli(&mut rng, 0.45);
+        let group = if disadvantaged == 1 { -1.0 } else { 1.0 };
+        let sex = bernoulli(&mut rng, 0.5);
+        let ses_z = 0.30 * group + 0.954 * normal(&mut rng);
+        let achievement = 0.35 * group + 0.40 * ses_z + 0.84 * normal(&mut rng);
+        let top50 = u32::from(achievement > 0.0);
+        let prior = bin_z(0.70 * achievement + 0.70 * normal(&mut rng), 8, 2.5);
+        let locale_weights = if disadvantaged == 1 {
+            [0.38, 0.27, 0.15, 0.20]
+        } else {
+            [0.25, 0.40, 0.15, 0.20]
+        };
+        let locale = categorical(&mut rng, &locale_weights);
+
+        let mut row = Vec::with_capacity(6 + JEONG_SURVEY_VARS);
+        row.extend_from_slice(&[
+            disadvantaged,
+            sex,
+            top50,
+            bin_z(ses_z, 10, 2.5),
+            prior,
+            locale,
+        ]);
+        for &w in &loadings {
+            let v = w * achievement + (1.0 - w * w).sqrt() * normal(&mut rng);
+            row.push(bin_z(v, 6, 2.2));
+        }
+        ds.push_row(&row).expect("codes generated in range");
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::marginal::mutual_information;
+
+    #[test]
+    fn saw_gender_gap_is_planted() {
+        let ds = saw2018(20_000, 3);
+        let male = ds.filter_rows(|r| r.get(0) == 0);
+        let female = ds.filter_rows(|r| r.get(0) == 1);
+        let p_m = male.mean_of(5).unwrap();
+        let p_f = female.mean_of(5).unwrap();
+        assert!(p_m > p_f + 0.12, "male {p_m:.3} vs female {p_f:.3}");
+    }
+
+    #[test]
+    fn saw_persistence_gradient_matches_constants() {
+        let ds = saw2018(60_000, 4);
+        for ses in [0u32, 3u32] {
+            let aspirants = ds.filter_rows(|r| r.get(2) == ses && r.get(5) == 1);
+            let p = aspirants.mean_of(7).unwrap();
+            let target = SAW_PERSIST_BY_SES[ses as usize];
+            assert!(
+                (p - target).abs() < 0.04,
+                "ses {ses}: persist {p:.3} vs target {target:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn saw_derived_columns_are_consistent() {
+        let ds = saw2018(5_000, 5);
+        for r in 0..ds.n_rows() {
+            let asp9 = ds.value(r, 5).unwrap();
+            let asp11 = ds.value(r, 6).unwrap();
+            let persister = ds.value(r, 7).unwrap();
+            let emerger = ds.value(r, 8).unwrap();
+            assert_eq!(persister, u32::from(asp9 == 1 && asp11 == 1));
+            assert_eq!(emerger, u32::from(asp9 == 0 && asp11 == 1));
+        }
+    }
+
+    #[test]
+    fn lee_math_scores_strongly_correlated() {
+        let ds = lee2021(10_000, 6);
+        let x = ds.numeric_column(0).unwrap();
+        let y = ds.numeric_column(1).unwrap();
+        let r = pearson(&x, &y);
+        assert!(r > 0.7, "r(math9, math11) = {r:.3}");
+        // And the dataset has the highest MI in the benchmark family.
+        let mi = mutual_information(&ds, 0, 1).unwrap();
+        assert!(mi > 0.5, "mi = {mi:.3}");
+    }
+
+    #[test]
+    fn jeong_base_rates_differ_by_group() {
+        let ds = jeong2021(20_000, 7);
+        let priv_rows = ds.filter_rows(|r| r.get(0) == 0);
+        let dis_rows = ds.filter_rows(|r| r.get(0) == 1);
+        let p_priv = priv_rows.mean_of(2).unwrap();
+        let p_dis = dis_rows.mean_of(2).unwrap();
+        assert!(p_priv > p_dis + 0.15, "priv {p_priv:.3} vs dis {p_dis:.3}");
+    }
+
+    fn pearson(x: &[f64], y: &[f64]) -> f64 {
+        let n = x.len() as f64;
+        let mx = x.iter().sum::<f64>() / n;
+        let my = y.iter().sum::<f64>() / n;
+        let cov: f64 = x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum();
+        let vx: f64 = x.iter().map(|a| (a - mx).powi(2)).sum();
+        let vy: f64 = y.iter().map(|b| (b - my).powi(2)).sum();
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}

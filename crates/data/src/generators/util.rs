@@ -1,0 +1,117 @@
+//! Shared sampling helpers for the study generators.
+
+use rand::Rng;
+
+/// Standard normal draw via Box–Muller (rand 0.8's core has no normal
+/// distribution and we deliberately avoid the extra `rand_distr` dependency).
+pub fn normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Reject u1 == 0 to keep ln() finite.
+    let mut u1: f64 = rng.gen();
+    while u1 <= f64::MIN_POSITIVE {
+        u1 = rng.gen();
+    }
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Bernoulli draw returning a 0/1 code. `p` is clamped to [0, 1].
+pub fn bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> u32 {
+    u32::from(rng.gen::<f64>() < p.clamp(0.0, 1.0))
+}
+
+/// Draw a category index proportional to `weights` (weights need not be
+/// normalized; non-positive weights are treated as zero). Returns the last
+/// index if rounding leaves residual mass.
+pub fn categorical<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> u32 {
+    debug_assert!(!weights.is_empty());
+    let total: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+    if total <= 0.0 {
+        return rng.gen_range(0..weights.len()) as u32;
+    }
+    let mut t = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        t -= w.max(0.0);
+        if t < 0.0 {
+            return i as u32;
+        }
+    }
+    (weights.len() - 1) as u32
+}
+
+/// Draw from a softmax over `logits`.
+pub fn softmax_choice<R: Rng + ?Sized>(rng: &mut R, logits: &[f64]) -> u32 {
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let weights: Vec<f64> = logits.iter().map(|l| (l - max).exp()).collect();
+    categorical(rng, &weights)
+}
+
+/// Logistic function.
+pub fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Map a z-score to one of `bins` codes covering `[-range, range]`
+/// (clamping the tails into the extreme bins).
+pub fn bin_z(z: f64, bins: usize, range: f64) -> u32 {
+    debug_assert!(bins > 0);
+    let unit = (z + range) / (2.0 * range);
+    let idx = (unit * bins as f64).floor();
+    idx.clamp(0.0, (bins - 1) as f64) as u32
+}
+
+/// Clamp an integer-valued f64 into the code space of a `card`-level
+/// attribute.
+pub fn clamp_code(v: f64, card: usize) -> u32 {
+    v.round().clamp(0.0, (card - 1) as f64) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..20_000).map(|_| normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.03, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            counts[categorical(&mut rng, &[1.0, 2.0, 1.0]) as usize] += 1;
+        }
+        let p1 = counts[1] as f64 / 30_000.0;
+        assert!((p1 - 0.5).abs() < 0.02, "p1 = {p1}");
+    }
+
+    #[test]
+    fn categorical_ignores_negative_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let c = categorical(&mut rng, &[-5.0, 1.0, -2.0]);
+            assert_eq!(c, 1);
+        }
+    }
+
+    #[test]
+    fn bin_z_covers_range() {
+        assert_eq!(bin_z(-10.0, 10, 3.0), 0);
+        assert_eq!(bin_z(10.0, 10, 3.0), 9);
+        assert_eq!(bin_z(0.0, 10, 3.0), 5);
+    }
+
+    #[test]
+    fn clamp_code_bounds() {
+        assert_eq!(clamp_code(-3.0, 5), 0);
+        assert_eq!(clamp_code(9.0, 5), 4);
+        assert_eq!(clamp_code(2.4, 5), 2);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the data substrate's core invariants.
+
+use proptest::prelude::*;
+use synrd_data::{Attribute, Dataset, Domain, Marginal};
+
+/// Strategy: a small random domain (2–5 attributes, cardinalities 2–6) and a
+/// matching dataset of 1–200 rows.
+fn domain_and_rows() -> impl Strategy<Value = (Vec<usize>, Vec<Vec<u32>>)> {
+    proptest::collection::vec(2usize..=6, 2..=5).prop_flat_map(|shape| {
+        let row = shape
+            .iter()
+            .map(|&card| 0u32..card as u32)
+            .collect::<Vec<_>>();
+        let rows = proptest::collection::vec(row, 1..=200);
+        (Just(shape), rows)
+    })
+}
+
+fn build_dataset(shape: &[usize], rows: &[Vec<u32>]) -> Dataset {
+    let attrs = shape
+        .iter()
+        .enumerate()
+        .map(|(i, &card)| Attribute::ordinal(format!("a{i}"), card))
+        .collect();
+    let mut ds = Dataset::with_capacity(Domain::new(attrs), rows.len());
+    for row in rows {
+        ds.push_row(row).expect("codes in range by construction");
+    }
+    ds
+}
+
+proptest! {
+    /// Marginal totals always equal the row count, for any attribute subset.
+    #[test]
+    fn marginal_total_is_row_count((shape, rows) in domain_and_rows()) {
+        let ds = build_dataset(&shape, &rows);
+        for a in 0..shape.len() {
+            let m = Marginal::count(&ds, &[a]).unwrap();
+            prop_assert!((m.total() - rows.len() as f64).abs() < 1e-9);
+        }
+        let all: Vec<usize> = (0..shape.len()).collect();
+        let m = Marginal::count(&ds, &all).unwrap();
+        prop_assert!((m.total() - rows.len() as f64).abs() < 1e-9);
+    }
+
+    /// Cell indexing is a bijection.
+    #[test]
+    fn index_codes_bijection((shape, rows) in domain_and_rows()) {
+        let ds = build_dataset(&shape, &rows);
+        let all: Vec<usize> = (0..shape.len()).collect();
+        let m = Marginal::count(&ds, &all).unwrap();
+        for idx in 0..m.n_cells() {
+            prop_assert_eq!(m.index_of(&m.codes_of(idx)), idx);
+        }
+    }
+
+    /// Projection commutes with direct counting.
+    #[test]
+    fn projection_commutes((shape, rows) in domain_and_rows()) {
+        let ds = build_dataset(&shape, &rows);
+        let joint = Marginal::count(&ds, &[0, 1]).unwrap();
+        let projected = joint.project(&[0]).unwrap();
+        let direct = Marginal::count(&ds, &[0]).unwrap();
+        for (a, b) in projected.counts().iter().zip(direct.counts()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// Mutual information is non-negative and symmetric.
+    #[test]
+    fn mi_nonnegative_symmetric((shape, rows) in domain_and_rows()) {
+        let ds = build_dataset(&shape, &rows);
+        let ab = synrd_data::mutual_information(&ds, 0, 1).unwrap();
+        let ba = synrd_data::mutual_information(&ds, 1, 0).unwrap();
+        prop_assert!(ab >= 0.0);
+        prop_assert!((ab - ba).abs() < 1e-9);
+    }
+
+    /// Sparsity stays within [0, 1] for every attribute summary.
+    #[test]
+    fn sparsity_bounded((shape, rows) in domain_and_rows()) {
+        prop_assume!(rows.len() >= 2);
+        let ds = build_dataset(&shape, &rows);
+        let s = synrd_data::metafeatures::sparsity_summary(&ds).unwrap();
+        prop_assert!(s.mean >= -1e-12 && s.mean <= 1.0 + 1e-12, "mean = {}", s.mean);
+    }
+
+    /// Filtering then counting never exceeds original counts.
+    #[test]
+    fn filter_monotone((shape, rows) in domain_and_rows()) {
+        let ds = build_dataset(&shape, &rows);
+        let filtered = ds.filter_rows(|r| r.get(0) == 0);
+        prop_assert!(filtered.n_rows() <= ds.n_rows());
+        let all_zero = filtered.column(0).unwrap().iter().all(|&c| c == 0);
+        prop_assert!(all_zero);
+    }
+
+    /// Bootstrap samples preserve the domain and row count.
+    #[test]
+    fn bootstrap_preserves_shape((shape, rows) in domain_and_rows(), seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let ds = build_dataset(&shape, &rows);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let bs = ds.bootstrap_sample(rows.len(), &mut rng);
+        prop_assert_eq!(bs.n_rows(), rows.len());
+        prop_assert_eq!(bs.domain(), ds.domain());
+    }
+}

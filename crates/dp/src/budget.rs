@@ -1,0 +1,250 @@
+//! Privacy accounting: (ε,δ)-DP, ρ-zCDP, and the conversions between them.
+//!
+//! The paper compares synthesizers with different native guarantees — AIM and
+//! GEM give ρ-zCDP, MST/PATECTGAN/PrivMRF give (ε,δ)-DP, PrivBayes gives
+//! pure (ε,0)-DP — and translates all of them onto a common ε axis using the
+//! Bun–Steinke relations (§3):
+//!
+//! * an (ε,0)-DP mechanism satisfies (ε²/2)-zCDP;
+//! * a ρ-zCDP mechanism satisfies (ρ + 2√(ρ·ln(1/δ)), δ)-DP for every δ>0.
+//!
+//! Internally every synthesizer in this workspace accounts in ρ-zCDP, which
+//! composes additively, and converts at its boundary.
+
+use crate::error::{DpError, Result};
+
+/// A privacy guarantee in one of the three currencies used by the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Privacy {
+    /// Pure (ε,0)-differential privacy.
+    Pure { epsilon: f64 },
+    /// Approximate (ε,δ)-differential privacy.
+    Approx { epsilon: f64, delta: f64 },
+    /// ρ-zero-concentrated differential privacy.
+    Zcdp { rho: f64 },
+}
+
+fn check_pos(name: &'static str, value: f64) -> Result<()> {
+    if !(value.is_finite() && value > 0.0) {
+        return Err(DpError::InvalidParameter { name, value });
+    }
+    Ok(())
+}
+
+impl Privacy {
+    /// Pure ε-DP.
+    pub fn pure(epsilon: f64) -> Result<Privacy> {
+        check_pos("epsilon", epsilon)?;
+        Ok(Privacy::Pure { epsilon })
+    }
+
+    /// Approximate (ε,δ)-DP. δ must lie in (0,1).
+    pub fn approx(epsilon: f64, delta: f64) -> Result<Privacy> {
+        check_pos("epsilon", epsilon)?;
+        if !(delta.is_finite() && delta > 0.0 && delta < 1.0) {
+            return Err(DpError::InvalidParameter {
+                name: "delta",
+                value: delta,
+            });
+        }
+        Ok(Privacy::Approx { epsilon, delta })
+    }
+
+    /// ρ-zCDP.
+    pub fn zcdp(rho: f64) -> Result<Privacy> {
+        check_pos("rho", rho)?;
+        Ok(Privacy::Zcdp { rho })
+    }
+
+    /// Tightest ρ-zCDP guarantee implied by this privacy statement.
+    ///
+    /// * Pure ε-DP ⇒ ε²/2-zCDP (Bun–Steinke Prop. 1.4).
+    /// * (ε,δ)-DP ⇒ the ρ whose standard conversion back to (ε',δ) gives
+    ///   ε' = ε, i.e. ρ = (√(ln(1/δ)+ε) − √(ln(1/δ)))² — this is how the
+    ///   paper places zCDP mechanisms on its common ε axis.
+    pub fn to_zcdp_rho(self) -> f64 {
+        match self {
+            Privacy::Pure { epsilon } => epsilon * epsilon / 2.0,
+            Privacy::Zcdp { rho } => rho,
+            Privacy::Approx { epsilon, delta } => {
+                let l = (1.0 / delta).ln();
+                let root = (l + epsilon).sqrt() - l.sqrt();
+                root * root
+            }
+        }
+    }
+
+    /// (ε,δ)-DP statement implied by this guarantee at a chosen δ.
+    /// For ρ-zCDP: ε = ρ + 2√(ρ·ln(1/δ)).
+    pub fn to_approx_epsilon(self, delta: f64) -> Result<f64> {
+        if !(delta.is_finite() && delta > 0.0 && delta < 1.0) {
+            return Err(DpError::InvalidParameter {
+                name: "delta",
+                value: delta,
+            });
+        }
+        Ok(match self {
+            Privacy::Pure { epsilon } => epsilon,
+            Privacy::Approx { epsilon, .. } => epsilon,
+            Privacy::Zcdp { rho } => rho + 2.0 * (rho * (1.0 / delta).ln()).sqrt(),
+        })
+    }
+}
+
+/// The paper's convention for δ: "cryptographically small, at the very most
+/// 1/n, but usually much smaller". We use δ = 1/(n²·10), capped at 1e-5.
+pub fn delta_for_n(n: usize) -> f64 {
+    let n = n.max(2) as f64;
+    (1.0 / (n * n * 10.0)).min(1e-5)
+}
+
+/// Additive ρ-zCDP budget accountant.
+///
+/// Mechanisms draw portions of the total budget with [`Accountant::spend`];
+/// overdrafts are errors rather than silent privacy violations.
+#[derive(Debug, Clone)]
+pub struct Accountant {
+    total_rho: f64,
+    spent_rho: f64,
+}
+
+impl Accountant {
+    /// Accountant for a total guarantee.
+    pub fn new(privacy: Privacy) -> Accountant {
+        Accountant {
+            total_rho: privacy.to_zcdp_rho(),
+            spent_rho: 0.0,
+        }
+    }
+
+    /// Total budget in ρ.
+    pub fn total(&self) -> f64 {
+        self.total_rho
+    }
+
+    /// Remaining budget in ρ.
+    pub fn remaining(&self) -> f64 {
+        (self.total_rho - self.spent_rho).max(0.0)
+    }
+
+    /// Spend `rho`, failing on overdraft. A relative tolerance of 1e-9
+    /// absorbs floating-point dust from repeated splits.
+    pub fn spend(&mut self, rho: f64) -> Result<()> {
+        check_pos("rho", rho)?;
+        let tolerance = 1e-9 * self.total_rho.max(1.0);
+        if rho > self.remaining() + tolerance {
+            return Err(DpError::BudgetExhausted {
+                requested: rho,
+                remaining: self.remaining(),
+            });
+        }
+        self.spent_rho += rho;
+        Ok(())
+    }
+
+    /// Spend everything that is left, returning the amount.
+    pub fn spend_all(&mut self) -> f64 {
+        let rho = self.remaining();
+        self.spent_rho = self.total_rho;
+        rho
+    }
+}
+
+/// Noise scale σ of the Gaussian mechanism with L2 sensitivity `sensitivity`
+/// satisfying ρ-zCDP: ρ = Δ²/(2σ²)  ⇒  σ = Δ·√(1/(2ρ)).
+pub fn gaussian_sigma(sensitivity: f64, rho: f64) -> Result<f64> {
+    check_pos("sensitivity", sensitivity)?;
+    check_pos("rho", rho)?;
+    Ok(sensitivity * (1.0 / (2.0 * rho)).sqrt())
+}
+
+/// Scale b of the Laplace mechanism with L1 sensitivity `sensitivity`
+/// satisfying ε-DP: b = Δ/ε.
+pub fn laplace_scale(sensitivity: f64, epsilon: f64) -> Result<f64> {
+    check_pos("sensitivity", sensitivity)?;
+    check_pos("epsilon", epsilon)?;
+    Ok(sensitivity / epsilon)
+}
+
+/// zCDP cost of one ε-DP exponential-mechanism invocation: ρ = ε²/8
+/// (Cesar & Rogers bound for bounded-range mechanisms; this is what MST and
+/// AIM charge for their private selection steps).
+pub fn exponential_rho(epsilon: f64) -> Result<f64> {
+    check_pos("epsilon", epsilon)?;
+    Ok(epsilon * epsilon / 8.0)
+}
+
+/// Inverse of [`exponential_rho`]: the selection ε affordable at cost ρ.
+pub fn exponential_epsilon(rho: f64) -> Result<f64> {
+    check_pos("rho", rho)?;
+    Ok((8.0 * rho).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_to_zcdp_matches_bun_steinke() {
+        let p = Privacy::pure(2.0).unwrap();
+        assert!((p.to_zcdp_rho() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zcdp_epsilon_round_trip() {
+        // rho -> epsilon at delta, then epsilon -> rho must return rho.
+        let delta = 1e-9;
+        for &rho in &[0.001, 0.05, 0.5, 3.0] {
+            let eps = Privacy::Zcdp { rho }.to_approx_epsilon(delta).unwrap();
+            let back = Privacy::approx(eps, delta).unwrap().to_zcdp_rho();
+            assert!(
+                (back - rho).abs() < 1e-9 * rho.max(1.0),
+                "rho {rho} -> eps {eps} -> {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn accountant_rejects_overdraft() {
+        let mut acc = Accountant::new(Privacy::zcdp(1.0).unwrap());
+        acc.spend(0.6).unwrap();
+        assert!(matches!(
+            acc.spend(0.6),
+            Err(DpError::BudgetExhausted { .. })
+        ));
+        assert!((acc.remaining() - 0.4).abs() < 1e-12);
+        assert!((acc.spend_all() - 0.4).abs() < 1e-12);
+        assert_eq!(acc.remaining(), 0.0);
+    }
+
+    #[test]
+    fn sigma_shrinks_with_budget() {
+        let small = gaussian_sigma(1.0, 0.01).unwrap();
+        let large = gaussian_sigma(1.0, 1.0).unwrap();
+        assert!(small > large);
+        // rho = 0.5 => sigma = 1.
+        assert!((gaussian_sigma(1.0, 0.5).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_parameters_error() {
+        assert!(Privacy::pure(0.0).is_err());
+        assert!(Privacy::approx(1.0, 1.5).is_err());
+        assert!(Privacy::zcdp(f64::NAN).is_err());
+        assert!(gaussian_sigma(-1.0, 0.5).is_err());
+        assert!(laplace_scale(1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn delta_is_cryptographically_small() {
+        assert!(delta_for_n(10_000) <= 1e-5);
+        assert!(delta_for_n(10_000) > 0.0);
+        assert!(delta_for_n(100) < 1.0 / 100.0);
+    }
+
+    #[test]
+    fn exponential_rho_round_trip() {
+        let rho = exponential_rho(0.8).unwrap();
+        assert!((exponential_epsilon(rho).unwrap() - 0.8).abs() < 1e-12);
+    }
+}

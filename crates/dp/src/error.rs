@@ -1,0 +1,37 @@
+//! Error taxonomy for DP primitives.
+
+use std::fmt;
+
+/// Errors produced by mechanisms and budget accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DpError {
+    /// A privacy parameter was non-positive or non-finite.
+    InvalidParameter { name: &'static str, value: f64 },
+    /// A budget spend would exceed the remaining budget.
+    BudgetExhausted { requested: f64, remaining: f64 },
+    /// The candidate set of a selection mechanism was empty.
+    EmptyCandidates,
+}
+
+impl fmt::Display for DpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DpError::InvalidParameter { name, value } => {
+                write!(f, "invalid privacy parameter {name} = {value}")
+            }
+            DpError::BudgetExhausted {
+                requested,
+                remaining,
+            } => write!(
+                f,
+                "budget exhausted: requested rho = {requested}, remaining = {remaining}"
+            ),
+            DpError::EmptyCandidates => write!(f, "selection mechanism given no candidates"),
+        }
+    }
+}
+
+impl std::error::Error for DpError {}
+
+/// Convenience alias used throughout the DP crate.
+pub type Result<T> = std::result::Result<T, DpError>;

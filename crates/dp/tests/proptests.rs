@@ -1,0 +1,72 @@
+//! Property-based tests for privacy accounting and mechanism invariants.
+
+use proptest::prelude::*;
+use synrd_dp::{
+    exponential_mechanism, gaussian_sigma, rng_for, Accountant, Privacy,
+};
+
+proptest! {
+    /// zCDP → (ε,δ) → zCDP round-trips for any positive ρ and small δ.
+    #[test]
+    fn zcdp_conversion_round_trip(rho in 1e-4f64..50.0, log_delta in -30.0f64..-3.0) {
+        let delta = log_delta.exp();
+        let eps = Privacy::Zcdp { rho }.to_approx_epsilon(delta).unwrap();
+        let back = Privacy::approx(eps, delta).unwrap().to_zcdp_rho();
+        prop_assert!((back - rho).abs() < 1e-6 * rho.max(1.0), "{rho} -> {eps} -> {back}");
+    }
+
+    /// Larger ε always implies larger ρ at fixed δ (monotonicity).
+    #[test]
+    fn rho_monotone_in_epsilon(eps in 0.01f64..20.0, bump in 0.01f64..5.0) {
+        let delta = 1e-9;
+        let lo = Privacy::approx(eps, delta).unwrap().to_zcdp_rho();
+        let hi = Privacy::approx(eps + bump, delta).unwrap().to_zcdp_rho();
+        prop_assert!(hi > lo);
+    }
+
+    /// Gaussian σ decreases monotonically with budget.
+    #[test]
+    fn sigma_monotone(rho in 1e-4f64..10.0, bump in 1e-4f64..10.0) {
+        let lo = gaussian_sigma(1.0, rho).unwrap();
+        let hi = gaussian_sigma(1.0, rho + bump).unwrap();
+        prop_assert!(hi < lo);
+    }
+
+    /// The accountant never lets total spend exceed the budget.
+    #[test]
+    fn accountant_conserves_budget(
+        total in 0.01f64..10.0,
+        spends in proptest::collection::vec(0.001f64..1.0, 1..20),
+    ) {
+        let mut acc = Accountant::new(Privacy::zcdp(total).unwrap());
+        let mut spent = 0.0;
+        for s in spends {
+            if acc.spend(s).is_ok() {
+                spent += s;
+            }
+        }
+        prop_assert!(spent <= total * (1.0 + 1e-9));
+        prop_assert!(acc.remaining() >= -1e-9);
+    }
+
+    /// The exponential mechanism always returns a valid index.
+    #[test]
+    fn exponential_mechanism_in_range(
+        scores in proptest::collection::vec(-100.0f64..100.0, 1..20),
+        eps in 0.01f64..10.0,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = rng_for(seed, "proptest");
+        let idx = exponential_mechanism(&scores, 1.0, eps, &mut rng).unwrap();
+        prop_assert!(idx < scores.len());
+    }
+
+    /// Seed derivation: distinct tags give distinct streams (no collisions
+    /// across a modest sample).
+    #[test]
+    fn derive_seed_no_trivial_collisions(master in 0u64..u64::MAX) {
+        let a = synrd_dp::derive_seed(master, "alpha");
+        let b = synrd_dp::derive_seed(master, "beta");
+        prop_assert_ne!(a, b);
+    }
+}

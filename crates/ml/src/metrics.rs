@@ -1,0 +1,131 @@
+//! Classification and fairness metrics.
+//!
+//! Jeong et al. compare accuracy, false-positive rate, false-negative rate,
+//! and predicted base rate between the privileged and disadvantaged racial
+//! groups; these are the paper's *Logistic Regression* finding types.
+
+use crate::error::{MlError, Result};
+
+/// Confusion-derived metrics at a 0.5 threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    /// Fraction of correct predictions.
+    pub accuracy: f64,
+    /// FP / (FP + TN): P(predict 1 | truth 0).
+    pub fpr: f64,
+    /// FN / (FN + TP): P(predict 0 | truth 1).
+    pub fnr: f64,
+    /// Fraction predicted positive (predicted base rate).
+    pub pbr: f64,
+    /// Observations.
+    pub n: usize,
+}
+
+/// Metrics from probability scores and 0/1 truth at a 0.5 threshold.
+///
+/// # Errors
+/// Length mismatch or empty input.
+pub fn metrics(scores: &[f64], truth: &[f64]) -> Result<Metrics> {
+    if scores.len() != truth.len() {
+        return Err(MlError::LengthMismatch {
+            left: scores.len(),
+            right: truth.len(),
+        });
+    }
+    if scores.is_empty() {
+        return Err(MlError::TooFewRows { needed: 1, got: 0 });
+    }
+    let mut tp = 0.0;
+    let mut fp = 0.0;
+    let mut tn = 0.0;
+    let mut fne = 0.0;
+    for (&s, &t) in scores.iter().zip(truth) {
+        let pred = s > 0.5;
+        match (pred, t == 1.0) {
+            (true, true) => tp += 1.0,
+            (true, false) => fp += 1.0,
+            (false, false) => tn += 1.0,
+            (false, true) => fne += 1.0,
+        }
+    }
+    let n = scores.len() as f64;
+    Ok(Metrics {
+        accuracy: (tp + tn) / n,
+        fpr: if fp + tn > 0.0 { fp / (fp + tn) } else { 0.0 },
+        fnr: if fne + tp > 0.0 { fne / (fne + tp) } else { 0.0 },
+        pbr: (tp + fp) / n,
+        n: scores.len(),
+    })
+}
+
+/// Per-group metrics: `groups[i]` is the group id of row i; returns metrics
+/// for each group id 0..n_groups.
+pub fn group_metrics(
+    scores: &[f64],
+    truth: &[f64],
+    groups: &[u32],
+    n_groups: usize,
+) -> Result<Vec<Metrics>> {
+    if groups.len() != scores.len() {
+        return Err(MlError::LengthMismatch {
+            left: groups.len(),
+            right: scores.len(),
+        });
+    }
+    let mut out = Vec::with_capacity(n_groups);
+    for g in 0..n_groups {
+        let (s, t): (Vec<f64>, Vec<f64>) = scores
+            .iter()
+            .zip(truth)
+            .zip(groups)
+            .filter(|(_, &gg)| gg as usize == g)
+            .map(|((s, t), _)| (*s, *t))
+            .unzip();
+        out.push(metrics(&s, &t)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier() {
+        let truth = [1.0, 0.0, 1.0, 0.0];
+        let scores = [0.9, 0.1, 0.8, 0.2];
+        let m = metrics(&scores, &truth).unwrap();
+        assert_eq!(m.accuracy, 1.0);
+        assert_eq!(m.fpr, 0.0);
+        assert_eq!(m.fnr, 0.0);
+        assert_eq!(m.pbr, 0.5);
+    }
+
+    #[test]
+    fn biased_classifier_shows_in_rates() {
+        // Always predicts positive: FPR = 1, FNR = 0, PBR = 1.
+        let truth = [1.0, 0.0, 0.0, 1.0];
+        let scores = [0.9, 0.9, 0.9, 0.9];
+        let m = metrics(&scores, &truth).unwrap();
+        assert_eq!(m.fpr, 1.0);
+        assert_eq!(m.fnr, 0.0);
+        assert_eq!(m.pbr, 1.0);
+        assert_eq!(m.accuracy, 0.5);
+    }
+
+    #[test]
+    fn group_split_works() {
+        let truth = [1.0, 0.0, 1.0, 0.0];
+        let scores = [0.9, 0.9, 0.1, 0.1];
+        let groups = [0u32, 0, 1, 1];
+        let gm = group_metrics(&scores, &truth, &groups, 2).unwrap();
+        assert_eq!(gm[0].fpr, 1.0); // group 0's negative got predicted positive
+        assert_eq!(gm[1].fnr, 1.0); // group 1's positive got predicted negative
+    }
+
+    #[test]
+    fn validation() {
+        assert!(metrics(&[0.5], &[]).is_err());
+        assert!(metrics(&[], &[]).is_err());
+    }
+}

@@ -1,0 +1,336 @@
+//! A compact multilayer perceptron with manual backpropagation and Adam.
+//!
+//! This is the neural substrate for the PATECTGAN synthesizer (generator and
+//! student discriminator). It supports ReLU hidden layers, configurable
+//! output activation, and mini-batch training against either squared error
+//! or binary cross-entropy.
+
+use rand::Rng;
+
+/// Output-layer activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Identity output (regression / logits).
+    Linear,
+    /// Elementwise logistic (probabilities).
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+/// One dense layer.
+#[derive(Debug, Clone)]
+struct Dense {
+    input: usize,
+    output: usize,
+    // Row-major weights [output x input].
+    w: Vec<f64>,
+    b: Vec<f64>,
+    // Adam state.
+    mw: Vec<f64>,
+    vw: Vec<f64>,
+    mb: Vec<f64>,
+    vb: Vec<f64>,
+}
+
+impl Dense {
+    fn new<R: Rng + ?Sized>(input: usize, output: usize, rng: &mut R) -> Dense {
+        // He initialization for ReLU nets.
+        let scale = (2.0 / input.max(1) as f64).sqrt();
+        let w = (0..input * output)
+            .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale)
+            .collect();
+        Dense {
+            input,
+            output,
+            w,
+            b: vec![0.0; output],
+            mw: vec![0.0; input * output],
+            vw: vec![0.0; input * output],
+            mb: vec![0.0; output],
+            vb: vec![0.0; output],
+        }
+    }
+
+    fn forward(&self, x: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        for o in 0..self.output {
+            let row = &self.w[o * self.input..(o + 1) * self.input];
+            let v: f64 = row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>() + self.b[o];
+            out.push(v);
+        }
+    }
+}
+
+/// MLP with ReLU hidden layers.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    output_activation: Activation,
+    step: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+}
+
+/// Per-example caches captured on the forward pass for backprop.
+pub struct ForwardCache {
+    /// Pre-activation values per layer.
+    pre: Vec<Vec<f64>>,
+    /// Post-activation values per layer (index 0 = input).
+    post: Vec<Vec<f64>>,
+}
+
+impl ForwardCache {
+    /// The network output recorded by this forward pass.
+    pub fn output(&self) -> &[f64] {
+        self.post.last().expect("forward pass recorded layers")
+    }
+}
+
+impl Mlp {
+    /// Build an MLP with the given layer sizes, e.g. `[8, 32, 32, 4]`.
+    pub fn new<R: Rng + ?Sized>(sizes: &[usize], output_activation: Activation, rng: &mut R) -> Mlp {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        let layers = sizes
+            .windows(2)
+            .map(|w| Dense::new(w[0], w[1], rng))
+            .collect();
+        Mlp {
+            layers,
+            output_activation,
+            step: 0,
+            learning_rate: 1e-3,
+        }
+    }
+
+    /// Input dimension.
+    pub fn input_size(&self) -> usize {
+        self.layers.first().map_or(0, |l| l.input)
+    }
+
+    /// Output dimension.
+    pub fn output_size(&self) -> usize {
+        self.layers.last().map_or(0, |l| l.output)
+    }
+
+    /// Forward pass, returning activations and caches.
+    pub fn forward(&self, x: &[f64]) -> ForwardCache {
+        debug_assert_eq!(x.len(), self.input_size());
+        let mut post = vec![x.to_vec()];
+        let mut pre = Vec::with_capacity(self.layers.len());
+        let mut buffer = Vec::new();
+        for (li, layer) in self.layers.iter().enumerate() {
+            layer.forward(post.last().expect("non-empty"), &mut buffer);
+            pre.push(buffer.clone());
+            let last = li + 1 == self.layers.len();
+            let activated: Vec<f64> = if last {
+                match self.output_activation {
+                    Activation::Linear => buffer.clone(),
+                    Activation::Sigmoid => buffer.iter().map(|v| 1.0 / (1.0 + (-v).exp())).collect(),
+                    Activation::Tanh => buffer.iter().map(|v| v.tanh()).collect(),
+                }
+            } else {
+                buffer.iter().map(|v| v.max(0.0)).collect() // ReLU
+            };
+            post.push(activated);
+        }
+        ForwardCache { pre, post }
+    }
+
+    /// Output of the forward pass.
+    pub fn predict(&self, x: &[f64]) -> Vec<f64> {
+        self.forward(x).post.last().expect("non-empty").clone()
+    }
+
+    /// Backpropagate from an output-space gradient `dl_dout` (∂loss/∂output,
+    /// *after* the output activation) and apply one Adam step.
+    pub fn backward_apply(&mut self, cache: &ForwardCache, dl_dout: &[f64]) {
+        self.step += 1;
+        let t = self.step as f64;
+        let (b1, b2, eps) = (0.9, 0.999, 1e-8);
+        let lr = self.learning_rate;
+
+        // Delta at the output layer (chain through the output activation).
+        let last = self.layers.len() - 1;
+        let mut delta: Vec<f64> = match self.output_activation {
+            Activation::Linear => dl_dout.to_vec(),
+            Activation::Sigmoid => cache.post[last + 1]
+                .iter()
+                .zip(dl_dout)
+                .map(|(&y, &g)| g * y * (1.0 - y))
+                .collect(),
+            Activation::Tanh => cache.post[last + 1]
+                .iter()
+                .zip(dl_dout)
+                .map(|(&y, &g)| g * (1.0 - y * y))
+                .collect(),
+        };
+
+        for li in (0..self.layers.len()).rev() {
+            // Gradient wrt inputs of this layer (before overwriting weights).
+            let layer = &self.layers[li];
+            let mut dl_dx = vec![0.0f64; layer.input];
+            for o in 0..layer.output {
+                let row = &layer.w[o * layer.input..(o + 1) * layer.input];
+                for (dx, &w) in dl_dx.iter_mut().zip(row) {
+                    *dx += delta[o] * w;
+                }
+            }
+            // Adam update of weights and biases.
+            let input_act = &cache.post[li];
+            let layer = &mut self.layers[li];
+            for o in 0..layer.output {
+                let base = o * layer.input;
+                for i in 0..layer.input {
+                    let g = delta[o] * input_act[i];
+                    let m = &mut layer.mw[base + i];
+                    let v = &mut layer.vw[base + i];
+                    *m = b1 * *m + (1.0 - b1) * g;
+                    *v = b2 * *v + (1.0 - b2) * g * g;
+                    let mhat = *m / (1.0 - b1.powf(t));
+                    let vhat = *v / (1.0 - b2.powf(t));
+                    layer.w[base + i] -= lr * mhat / (vhat.sqrt() + eps);
+                }
+                let g = delta[o];
+                let m = &mut layer.mb[o];
+                let v = &mut layer.vb[o];
+                *m = b1 * *m + (1.0 - b1) * g;
+                *v = b2 * *v + (1.0 - b2) * g * g;
+                let mhat = *m / (1.0 - b1.powf(t));
+                let vhat = *v / (1.0 - b2.powf(t));
+                layer.b[o] -= lr * mhat / (vhat.sqrt() + eps);
+            }
+            if li > 0 {
+                // Chain through the ReLU of the previous hidden layer.
+                delta = dl_dx
+                    .iter()
+                    .zip(&cache.pre[li - 1])
+                    .map(|(&g, &p)| if p > 0.0 { g } else { 0.0 })
+                    .collect();
+            }
+        }
+    }
+
+    /// Gradient of the loss with respect to the *input*, given an
+    /// output-space gradient. Does not update weights — used to train an
+    /// upstream generator against this network (GAN-style).
+    pub fn input_gradient(&self, cache: &ForwardCache, dl_dout: &[f64]) -> Vec<f64> {
+        let last = self.layers.len() - 1;
+        let mut delta: Vec<f64> = match self.output_activation {
+            Activation::Linear => dl_dout.to_vec(),
+            Activation::Sigmoid => cache.post[last + 1]
+                .iter()
+                .zip(dl_dout)
+                .map(|(&y, &g)| g * y * (1.0 - y))
+                .collect(),
+            Activation::Tanh => cache.post[last + 1]
+                .iter()
+                .zip(dl_dout)
+                .map(|(&y, &g)| g * (1.0 - y * y))
+                .collect(),
+        };
+        for li in (0..self.layers.len()).rev() {
+            let layer = &self.layers[li];
+            let mut dl_dx = vec![0.0f64; layer.input];
+            for o in 0..layer.output {
+                let row = &layer.w[o * layer.input..(o + 1) * layer.input];
+                for (dx, &w) in dl_dx.iter_mut().zip(row) {
+                    *dx += delta[o] * w;
+                }
+            }
+            if li > 0 {
+                delta = dl_dx
+                    .iter()
+                    .zip(&cache.pre[li - 1])
+                    .map(|(&g, &p)| if p > 0.0 { g } else { 0.0 })
+                    .collect();
+            } else {
+                return dl_dx;
+            }
+        }
+        Vec::new()
+    }
+
+    /// One squared-error training step on a single example; returns the loss.
+    pub fn train_mse(&mut self, x: &[f64], target: &[f64]) -> f64 {
+        let cache = self.forward(x);
+        let out = cache.post.last().expect("non-empty");
+        let mut grad = Vec::with_capacity(out.len());
+        let mut loss = 0.0;
+        for (o, t) in out.iter().zip(target) {
+            let d = o - t;
+            loss += 0.5 * d * d;
+            grad.push(d);
+        }
+        self.backward_apply(&cache, &grad);
+        loss
+    }
+
+    /// One binary-cross-entropy step for a single sigmoid output; returns the
+    /// loss. `target` ∈ {0,1}.
+    pub fn train_bce(&mut self, x: &[f64], target: f64) -> f64 {
+        debug_assert_eq!(self.output_size(), 1);
+        debug_assert_eq!(self.output_activation, Activation::Sigmoid);
+        let cache = self.forward(x);
+        let y = cache.post.last().expect("non-empty")[0].clamp(1e-9, 1.0 - 1e-9);
+        let loss = -(target * y.ln() + (1.0 - target) * (1.0 - y).ln());
+        // d(BCE)/dy = (y - t) / (y(1-y)); the sigmoid chain in backward_apply
+        // multiplies by y(1-y), so the composite is the familiar (y - t).
+        let grad = [(y - target) / (y * (1.0 - y))];
+        self.backward_apply(&cache, &grad);
+        loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn learns_xor_with_bce() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let mut net = Mlp::new(&[2, 16, 1], Activation::Sigmoid, &mut rng);
+        net.learning_rate = 5e-3;
+        let data = [
+            ([0.0, 0.0], 0.0),
+            ([0.0, 1.0], 1.0),
+            ([1.0, 0.0], 1.0),
+            ([1.0, 1.0], 0.0),
+        ];
+        for _ in 0..4000 {
+            for (x, t) in &data {
+                net.train_bce(x, *t);
+            }
+        }
+        for (x, t) in &data {
+            let p = net.predict(x)[0];
+            assert!((p - t).abs() < 0.25, "x = {x:?}, p = {p}");
+        }
+    }
+
+    #[test]
+    fn learns_linear_regression_with_mse() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut net = Mlp::new(&[1, 8, 1], Activation::Linear, &mut rng);
+        net.learning_rate = 3e-3;
+        for epoch in 0..3000 {
+            let x = (epoch % 20) as f64 / 10.0 - 1.0;
+            net.train_mse(&[x], &[2.0 * x + 0.5]);
+        }
+        let p = net.predict(&[0.3])[0];
+        assert!((p - 1.1).abs() < 0.15, "p = {p}");
+    }
+
+    #[test]
+    fn shapes_are_consistent() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let net = Mlp::new(&[3, 5, 4], Activation::Tanh, &mut rng);
+        assert_eq!(net.input_size(), 3);
+        assert_eq!(net.output_size(), 4);
+        let out = net.predict(&[0.1, 0.2, 0.3]);
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|v| (-1.0..=1.0).contains(v)));
+    }
+}

@@ -1,0 +1,57 @@
+//! Train/test splitting.
+
+use crate::error::{MlError, Result};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Shuffle row indices and split off a test fraction.
+///
+/// # Errors
+/// [`MlError::InvalidParameter`] for fractions outside (0,1);
+/// [`MlError::TooFewRows`] when a side would be empty.
+pub fn train_test_split<R: Rng + ?Sized>(
+    n: usize,
+    test_fraction: f64,
+    rng: &mut R,
+) -> Result<(Vec<usize>, Vec<usize>)> {
+    if !(0.0 < test_fraction && test_fraction < 1.0) {
+        return Err(MlError::InvalidParameter {
+            name: "test_fraction",
+            value: test_fraction,
+        });
+    }
+    let n_test = ((n as f64) * test_fraction).round() as usize;
+    if n_test == 0 || n_test >= n {
+        return Err(MlError::TooFewRows { needed: 2, got: n });
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    let test = idx.split_off(n - n_test);
+    Ok((idx, test))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn split_covers_everything_once() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (train, test) = train_test_split(100, 0.3, &mut rng).unwrap();
+        assert_eq!(train.len(), 70);
+        assert_eq!(test.len(), 30);
+        let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn validation() {
+        let mut rng = StdRng::seed_from_u64(10);
+        assert!(train_test_split(10, 0.0, &mut rng).is_err());
+        assert!(train_test_split(10, 1.0, &mut rng).is_err());
+        assert!(train_test_split(1, 0.5, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,239 @@
+//! CART-style binary decision tree with Gini impurity.
+//!
+//! One of Jeong et al.'s three model families (via [`crate::forest`]). The
+//! implementation supports per-node feature subsampling so the forest gets
+//! decorrelated trees.
+
+use crate::error::{validate_xy, MlError, Result};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Hyperparameters for tree induction.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeOptions {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples to attempt a split.
+    pub min_samples_split: usize,
+    /// Features tried per node; `None` = all.
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeOptions {
+    fn default() -> Self {
+        TreeOptions {
+            max_depth: 8,
+            min_samples_split: 10,
+            max_features: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        prob: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A fitted decision tree predicting P(y = 1 | x).
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    root: Node,
+    n_features: usize,
+}
+
+impl DecisionTree {
+    /// Fit on row-major features and 0/1 labels.
+    pub fn fit<R: Rng + ?Sized>(
+        x: &[Vec<f64>],
+        y: &[f64],
+        options: TreeOptions,
+        rng: &mut R,
+    ) -> Result<DecisionTree> {
+        let d = validate_xy(x, y)?;
+        if options.max_depth == 0 {
+            return Err(MlError::InvalidParameter {
+                name: "max_depth",
+                value: 0.0,
+            });
+        }
+        let idx: Vec<usize> = (0..x.len()).collect();
+        let root = grow(x, y, &idx, 0, &options, rng);
+        Ok(DecisionTree {
+            root,
+            n_features: d,
+        })
+    }
+
+    /// Predicted probability for one row.
+    pub fn predict_proba_row(&self, row: &[f64]) -> f64 {
+        debug_assert_eq!(row.len(), self.n_features);
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { prob } => return *prob,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Predicted probabilities for many rows.
+    pub fn predict_proba(&self, x: &[Vec<f64>]) -> Vec<f64> {
+        x.iter().map(|r| self.predict_proba_row(r)).collect()
+    }
+}
+
+fn gini(pos: f64, total: f64) -> f64 {
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let p = pos / total;
+    2.0 * p * (1.0 - p)
+}
+
+fn grow<R: Rng + ?Sized>(
+    x: &[Vec<f64>],
+    y: &[f64],
+    idx: &[usize],
+    depth: usize,
+    options: &TreeOptions,
+    rng: &mut R,
+) -> Node {
+    let total = idx.len() as f64;
+    let pos: f64 = idx.iter().map(|&i| y[i]).sum();
+    let prob = if total > 0.0 { pos / total } else { 0.5 };
+    let pure = pos == 0.0 || pos == total;
+    if depth >= options.max_depth || idx.len() < options.min_samples_split || pure {
+        return Node::Leaf { prob };
+    }
+
+    // Candidate features (subsampled for forests).
+    let d = x[0].len();
+    let mut features: Vec<usize> = (0..d).collect();
+    if let Some(k) = options.max_features {
+        features.shuffle(rng);
+        features.truncate(k.max(1).min(d));
+    }
+
+    let parent_gini = gini(pos, total);
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+    let mut values: Vec<(f64, f64)> = Vec::with_capacity(idx.len());
+    for &f in &features {
+        values.clear();
+        values.extend(idx.iter().map(|&i| (x[i][f], y[i])));
+        values.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+        // Sweep split points between distinct values.
+        let mut left_pos = 0.0;
+        let mut left_n = 0.0;
+        for w in 0..values.len().saturating_sub(1) {
+            left_pos += values[w].1;
+            left_n += 1.0;
+            if values[w].0 == values[w + 1].0 {
+                continue;
+            }
+            let right_pos = pos - left_pos;
+            let right_n = total - left_n;
+            let weighted = (left_n / total) * gini(left_pos, left_n)
+                + (right_n / total) * gini(right_pos, right_n);
+            let gain = parent_gini - weighted;
+            // Zero-gain splits are allowed (XOR-style problems have no
+            // first-level gain); depth and the purity check bound the tree.
+            if best.map_or(gain >= -1e-12, |(_, _, g)| gain > g) {
+                let threshold = 0.5 * (values[w].0 + values[w + 1].0);
+                best = Some((f, threshold, gain));
+            }
+        }
+    }
+
+    match best {
+        None => Node::Leaf { prob },
+        Some((feature, threshold, _)) => {
+            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                idx.iter().partition(|&&i| x[i][feature] <= threshold);
+            if left_idx.is_empty() || right_idx.is_empty() {
+                return Node::Leaf { prob };
+            }
+            Node::Split {
+                feature,
+                threshold,
+                left: Box::new(grow(x, y, &left_idx, depth + 1, options, rng)),
+                right: Box::new(grow(x, y, &right_idx, depth + 1, options, rng)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn learns_a_threshold_rule() {
+        let x: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..200).map(|i| f64::from(i >= 100)).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let tree = DecisionTree::fit(&x, &y, TreeOptions::default(), &mut rng).unwrap();
+        assert!(tree.predict_proba_row(&[5.0]) < 0.1);
+        assert!(tree.predict_proba_row(&[150.0]) > 0.9);
+    }
+
+    #[test]
+    fn learns_xor_with_depth() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..400 {
+            let a = f64::from(i % 2 == 0);
+            let b = f64::from((i / 2) % 2 == 0);
+            x.push(vec![a, b]);
+            y.push(f64::from((a != b) as u8));
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        let tree = DecisionTree::fit(&x, &y, TreeOptions::default(), &mut rng).unwrap();
+        assert!(tree.predict_proba_row(&[0.0, 1.0]) > 0.9);
+        assert!(tree.predict_proba_row(&[1.0, 1.0]) < 0.1);
+    }
+
+    #[test]
+    fn respects_max_depth_one() {
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..100).map(|i| f64::from(i >= 50)).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let opts = TreeOptions {
+            max_depth: 1,
+            ..TreeOptions::default()
+        };
+        let tree = DecisionTree::fit(&x, &y, opts, &mut rng).unwrap();
+        // A stump still separates this data.
+        assert!(tree.predict_proba_row(&[0.0]) < 0.2);
+        assert!(tree.predict_proba_row(&[99.0]) > 0.8);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(DecisionTree::fit(&[], &[], TreeOptions::default(), &mut rng).is_err());
+        assert!(DecisionTree::fit(
+            &[vec![1.0]],
+            &[2.0],
+            TreeOptions::default(),
+            &mut rng
+        )
+        .is_err());
+    }
+}

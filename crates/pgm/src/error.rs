@@ -1,0 +1,51 @@
+//! Error taxonomy for the graphical-model substrate.
+
+use std::fmt;
+
+/// Errors from factor algebra, junction-tree construction, estimation and
+/// sampling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PgmError {
+    /// Factor attributes must be sorted and distinct.
+    UnsortedAttributes,
+    /// An operation required one factor's scope to contain another's.
+    ScopeMismatch,
+    /// Shape and value-vector length disagree.
+    ShapeMismatch { cells: usize, values: usize },
+    /// A clique or factor would exceed the cell limit.
+    CliqueTooLarge { cells: u128, limit: usize },
+    /// The model has no measurements to estimate from.
+    NoMeasurements,
+    /// An attribute index exceeds the domain.
+    AttributeOutOfBounds { index: usize, len: usize },
+    /// A measurement's attribute set is not contained in any clique
+    /// (junction-tree construction bug — should never surface to users).
+    UncoveredMeasurement { attrs: Vec<usize> },
+}
+
+impl fmt::Display for PgmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PgmError::UnsortedAttributes => write!(f, "factor attributes must be sorted and distinct"),
+            PgmError::ScopeMismatch => write!(f, "factor scope mismatch"),
+            PgmError::ShapeMismatch { cells, values } => {
+                write!(f, "shape implies {cells} cells but {values} values given")
+            }
+            PgmError::CliqueTooLarge { cells, limit } => {
+                write!(f, "clique has {cells} cells, over limit {limit}")
+            }
+            PgmError::NoMeasurements => write!(f, "no measurements provided"),
+            PgmError::AttributeOutOfBounds { index, len } => {
+                write!(f, "attribute {index} out of bounds for domain of {len}")
+            }
+            PgmError::UncoveredMeasurement { attrs } => {
+                write!(f, "measurement over {attrs:?} not covered by any clique")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PgmError {}
+
+/// Convenience alias used throughout the PGM crate.
+pub type Result<T> = std::result::Result<T, PgmError>;

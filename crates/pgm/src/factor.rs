@@ -1,0 +1,364 @@
+//! Log-space factors over subsets of a discrete domain.
+//!
+//! A [`Factor`] stores log-potentials (or log-probabilities) over the cells
+//! of an attribute subset, laid out row-major in ascending attribute order.
+//! Products are additions in log space; marginalization uses a max-shifted
+//! sum-exp per output cell, so calibration stays stable for the very peaked
+//! potentials mirror descent produces at low noise.
+
+use crate::error::{PgmError, Result};
+
+/// Row-major strides for a shape.
+pub(crate) fn strides_of(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * shape[i + 1];
+    }
+    strides
+}
+
+/// A factor over sorted, distinct attribute indices of some global domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Factor {
+    attrs: Vec<usize>,
+    shape: Vec<usize>,
+    log_values: Vec<f64>,
+}
+
+impl Factor {
+    /// Uniform (all-zero log) factor.
+    ///
+    /// # Errors
+    /// [`PgmError::UnsortedAttributes`] if `attrs` is not strictly ascending,
+    /// or a shape/attr length mismatch.
+    pub fn uniform(attrs: Vec<usize>, shape: Vec<usize>) -> Result<Factor> {
+        Self::from_log_values(attrs, shape.clone(), vec![0.0; shape.iter().product()])
+    }
+
+    /// Build from explicit log values.
+    pub fn from_log_values(attrs: Vec<usize>, shape: Vec<usize>, log_values: Vec<f64>) -> Result<Factor> {
+        if attrs.len() != shape.len() {
+            return Err(PgmError::ScopeMismatch);
+        }
+        if !attrs.windows(2).all(|w| w[0] < w[1]) {
+            return Err(PgmError::UnsortedAttributes);
+        }
+        let cells: usize = shape.iter().product();
+        if log_values.len() != cells {
+            return Err(PgmError::ShapeMismatch {
+                cells,
+                values: log_values.len(),
+            });
+        }
+        Ok(Factor {
+            attrs,
+            shape,
+            log_values,
+        })
+    }
+
+    /// Build from non-negative linear-space values (zeros become -inf).
+    pub fn from_values(attrs: Vec<usize>, shape: Vec<usize>, values: &[f64]) -> Result<Factor> {
+        let logs = values
+            .iter()
+            .map(|&v| if v > 0.0 { v.ln() } else { f64::NEG_INFINITY })
+            .collect();
+        Self::from_log_values(attrs, shape, logs)
+    }
+
+    /// Sorted global attribute ids in scope.
+    pub fn attrs(&self) -> &[usize] {
+        &self.attrs
+    }
+
+    /// Cardinalities per attribute.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Raw log values.
+    pub fn log_values(&self) -> &[f64] {
+        &self.log_values
+    }
+
+    /// Mutable raw log values.
+    pub fn log_values_mut(&mut self) -> &mut [f64] {
+        &mut self.log_values
+    }
+
+    /// Cell count.
+    pub fn n_cells(&self) -> usize {
+        self.log_values.len()
+    }
+
+    /// log Σ exp(values) with max shift.
+    pub fn log_sum_exp(&self) -> f64 {
+        log_sum_exp(&self.log_values)
+    }
+
+    /// Normalize in place to a log-probability table.
+    pub fn normalize(&mut self) {
+        let lse = self.log_sum_exp();
+        if lse.is_finite() {
+            self.log_values.iter_mut().for_each(|v| *v -= lse);
+        } else {
+            // Degenerate (all -inf): fall back to uniform.
+            let u = -( (self.n_cells() as f64).ln() );
+            self.log_values.iter_mut().for_each(|v| *v = u);
+        }
+    }
+
+    /// Linear-space probabilities (normalized copy).
+    pub fn probabilities(&self) -> Vec<f64> {
+        let lse = self.log_sum_exp();
+        if !lse.is_finite() {
+            return vec![1.0 / self.n_cells() as f64; self.n_cells()];
+        }
+        self.log_values.iter().map(|&v| (v - lse).exp()).collect()
+    }
+
+    /// Expand onto a superset scope `target` (sorted) with `target_shape`.
+    /// Cells are replicated over the new axes.
+    ///
+    /// # Errors
+    /// [`PgmError::ScopeMismatch`] if `self.attrs ⊄ target`.
+    pub fn expand(&self, target: &[usize], target_shape: &[usize]) -> Result<Factor> {
+        if self.attrs == target {
+            return Ok(self.clone());
+        }
+        // Positions of self.attrs within target.
+        let mut positions = Vec::with_capacity(self.attrs.len());
+        {
+            let mut ti = 0usize;
+            for (&a, &card) in self.attrs.iter().zip(&self.shape) {
+                while ti < target.len() && target[ti] < a {
+                    ti += 1;
+                }
+                if ti >= target.len() || target[ti] != a || target_shape[ti] != card {
+                    return Err(PgmError::ScopeMismatch);
+                }
+                positions.push(ti);
+            }
+        }
+        let src_strides = strides_of(&self.shape);
+        let cells: usize = target_shape.iter().product();
+        let mut out = vec![0.0f64; cells];
+        // Incremental mixed-radix counter over the target cells.
+        let mut codes = vec![0usize; target.len()];
+        let mut src_idx = 0usize;
+        for slot in out.iter_mut() {
+            *slot = self.log_values[src_idx];
+            // Increment the counter (last axis fastest) and patch src_idx.
+            for axis in (0..target.len()).rev() {
+                codes[axis] += 1;
+                if let Some(pos) = positions.iter().position(|&p| p == axis) {
+                    src_idx += src_strides[pos];
+                }
+                if codes[axis] < target_shape[axis] {
+                    break;
+                }
+                codes[axis] = 0;
+                if let Some(pos) = positions.iter().position(|&p| p == axis) {
+                    src_idx -= src_strides[pos] * self.shape[pos];
+                }
+            }
+        }
+        Factor::from_log_values(target.to_vec(), target_shape.to_vec(), out)
+    }
+
+    /// Log-space product: scope is the union of both scopes.
+    pub fn multiply(&self, other: &Factor) -> Result<Factor> {
+        let (union_attrs, union_shape) = union_scope(self, other)?;
+        let mut a = self.expand(&union_attrs, &union_shape)?;
+        let b = other.expand(&union_attrs, &union_shape)?;
+        for (x, y) in a.log_values.iter_mut().zip(b.log_values) {
+            *x += y;
+        }
+        Ok(a)
+    }
+
+    /// Log-space division (used to form conditional distributions).
+    pub fn divide(&self, other: &Factor) -> Result<Factor> {
+        let b = other.expand(&self.attrs, &self.shape)?;
+        let mut out = self.clone();
+        for (x, y) in out.log_values.iter_mut().zip(b.log_values) {
+            // -inf / -inf := -inf (zero over zero stays zero mass).
+            if y.is_finite() {
+                *x -= y;
+            } else if x.is_finite() {
+                *x = f64::INFINITY; // division by zero where mass exists
+            }
+        }
+        Ok(out)
+    }
+
+    /// Marginalize onto a kept subset of global attribute ids (sorted),
+    /// summing out the rest in linear space (max-shifted).
+    pub fn marginalize_keep(&self, keep: &[usize]) -> Result<Factor> {
+        if keep == self.attrs.as_slice() {
+            return Ok(self.clone());
+        }
+        let mut keep_pos = Vec::with_capacity(keep.len());
+        for &k in keep {
+            match self.attrs.iter().position(|&a| a == k) {
+                Some(p) => keep_pos.push(p),
+                None => return Err(PgmError::ScopeMismatch),
+            }
+        }
+        let out_shape: Vec<usize> = keep_pos.iter().map(|&p| self.shape[p]).collect();
+        let out_strides = strides_of(&out_shape);
+        let out_cells: usize = out_shape.iter().product();
+
+        // Pass 1: per-output-cell max for numerical stability.
+        let mut maxes = vec![f64::NEG_INFINITY; out_cells];
+        let mut sums = vec![0.0f64; out_cells];
+        let src_strides = strides_of(&self.shape);
+        let map_index = |idx: usize| -> usize {
+            let mut out_idx = 0usize;
+            for (k, &p) in keep_pos.iter().enumerate() {
+                let code = (idx / src_strides[p]) % self.shape[p];
+                out_idx += code * out_strides[k];
+            }
+            out_idx
+        };
+        for (idx, &lv) in self.log_values.iter().enumerate() {
+            let o = map_index(idx);
+            if lv > maxes[o] {
+                maxes[o] = lv;
+            }
+        }
+        for (idx, &lv) in self.log_values.iter().enumerate() {
+            let o = map_index(idx);
+            if maxes[o].is_finite() {
+                sums[o] += (lv - maxes[o]).exp();
+            }
+        }
+        let out_logs = maxes
+            .iter()
+            .zip(&sums)
+            .map(|(&m, &s)| {
+                if m.is_finite() && s > 0.0 {
+                    m + s.ln()
+                } else {
+                    f64::NEG_INFINITY
+                }
+            })
+            .collect();
+        Factor::from_log_values(keep.to_vec(), out_shape, out_logs)
+    }
+}
+
+/// Union of two factor scopes with consistent cardinalities.
+fn union_scope(a: &Factor, b: &Factor) -> Result<(Vec<usize>, Vec<usize>)> {
+    let mut attrs = Vec::with_capacity(a.attrs.len() + b.attrs.len());
+    let mut shape = Vec::with_capacity(attrs.capacity());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.attrs.len() || j < b.attrs.len() {
+        let take_a = j >= b.attrs.len() || (i < a.attrs.len() && a.attrs[i] <= b.attrs[j]);
+        if take_a {
+            if j < b.attrs.len() && i < a.attrs.len() && a.attrs[i] == b.attrs[j] {
+                if a.shape[i] != b.shape[j] {
+                    return Err(PgmError::ScopeMismatch);
+                }
+                j += 1;
+            }
+            attrs.push(a.attrs[i]);
+            shape.push(a.shape[i]);
+            i += 1;
+        } else {
+            attrs.push(b.attrs[j]);
+            shape.push(b.shape[j]);
+            j += 1;
+        }
+    }
+    Ok((attrs, shape))
+}
+
+/// Max-shifted log-sum-exp of a slice.
+pub fn log_sum_exp(values: &[f64]) -> f64 {
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        return max;
+    }
+    max + values.iter().map(|v| (v - max).exp()).sum::<f64>().ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn factor(attrs: Vec<usize>, shape: Vec<usize>, vals: Vec<f64>) -> Factor {
+        Factor::from_values(attrs, shape, &vals).unwrap()
+    }
+
+    #[test]
+    fn expand_replicates_over_new_axes() {
+        // f(b) over attr 1 expanded to (a=0, b=1).
+        let f = factor(vec![1], vec![3], vec![1.0, 2.0, 3.0]);
+        let e = f.expand(&[0, 1], &[2, 3]).unwrap();
+        let p: Vec<f64> = e.log_values().iter().map(|v| v.exp()).collect();
+        assert_eq!(p.len(), 6);
+        for row in 0..2 {
+            for col in 0..3 {
+                assert!((p[row * 3 + col] - (col + 1) as f64).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn multiply_matches_manual_product() {
+        let fa = factor(vec![0], vec![2], vec![0.25, 0.75]);
+        let fb = factor(vec![1], vec![2], vec![0.5, 0.5]);
+        let joint = fa.multiply(&fb).unwrap();
+        let p = joint.probabilities();
+        assert!((p[0] - 0.125).abs() < 1e-12); // 0.25 * 0.5
+        assert!((p[3] - 0.375).abs() < 1e-12); // 0.75 * 0.5
+    }
+
+    #[test]
+    fn marginalize_inverts_expand() {
+        let f = factor(vec![0, 2], vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let m = f.marginalize_keep(&[0]).unwrap();
+        let vals: Vec<f64> = m.log_values().iter().map(|v| v.exp()).collect();
+        assert!((vals[0] - 6.0).abs() < 1e-9);
+        assert!((vals[1] - 15.0).abs() < 1e-9);
+        // Keep both -> identity.
+        assert_eq!(f.marginalize_keep(&[0, 2]).unwrap(), f);
+    }
+
+    #[test]
+    fn marginalize_then_multiply_consistency() {
+        // p(a,b) -> p(a) * p(b|a)-free check: sum of joint equals sum of marginal.
+        let f = factor(vec![0, 1], vec![2, 2], vec![0.1, 0.2, 0.3, 0.4]);
+        let ma = f.marginalize_keep(&[0]).unwrap();
+        assert!((ma.log_sum_exp() - f.log_sum_exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_handles_degenerate() {
+        let mut f = Factor::from_log_values(vec![0], vec![3], vec![f64::NEG_INFINITY; 3]).unwrap();
+        f.normalize();
+        let p = f.probabilities();
+        assert!((p[0] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scope_errors() {
+        let f = factor(vec![0], vec![2], vec![1.0, 1.0]);
+        assert!(f.expand(&[1], &[2]).is_err());
+        assert!(f.marginalize_keep(&[1]).is_err());
+        assert!(Factor::uniform(vec![1, 0], vec![2, 2]).is_err());
+        assert!(Factor::uniform(vec![0, 0], vec![2, 2]).is_err());
+    }
+
+    #[test]
+    fn divide_forms_conditionals() {
+        let joint = factor(vec![0, 1], vec![2, 2], vec![0.1, 0.3, 0.2, 0.4]);
+        let marg = joint.marginalize_keep(&[0]).unwrap();
+        let cond = joint.divide(&marg).unwrap();
+        let p: Vec<f64> = cond.log_values().iter().map(|v| v.exp()).collect();
+        // p(b|a=0) = [0.25, 0.75].
+        assert!((p[0] - 0.25).abs() < 1e-9);
+        assert!((p[1] - 0.75).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,340 @@
+//! Junction-tree construction: min-fill triangulation of the measurement
+//! graph, maximal-clique extraction, and a maximum spanning tree over
+//! separator sizes (which, for a triangulated graph, satisfies the running
+//! intersection property).
+
+use crate::error::{PgmError, Result};
+use crate::spanning_tree::maximum_spanning_tree;
+
+/// A junction tree (possibly a forest) over a discrete domain.
+#[derive(Debug, Clone)]
+pub struct JunctionTree {
+    domain_shape: Vec<usize>,
+    cliques: Vec<Vec<usize>>,
+    clique_shapes: Vec<Vec<usize>>,
+    /// Edges `(i, j, separator)` with `i < j`; separators sorted.
+    edges: Vec<(usize, usize, Vec<usize>)>,
+    /// adjacency[i] = list of (neighbor clique, edge index).
+    adjacency: Vec<Vec<(usize, usize)>>,
+}
+
+impl JunctionTree {
+    /// Build a junction tree whose cliques cover every attribute set in
+    /// `attr_sets` (each set must therefore fit in one clique). Attributes
+    /// not mentioned become singleton cliques so the model always spans the
+    /// whole domain.
+    ///
+    /// # Errors
+    /// [`PgmError::CliqueTooLarge`] if triangulation produces a clique over
+    /// `cell_limit` cells; index errors for bad attribute ids.
+    pub fn build(
+        domain_shape: &[usize],
+        attr_sets: &[Vec<usize>],
+        cell_limit: usize,
+    ) -> Result<JunctionTree> {
+        let n = domain_shape.len();
+        for set in attr_sets {
+            for &a in set {
+                if a >= n {
+                    return Err(PgmError::AttributeOutOfBounds { index: a, len: n });
+                }
+            }
+        }
+        // Moral-style graph: complete every measurement set.
+        let mut adj = vec![vec![false; n]; n];
+        for set in attr_sets {
+            for (k, &a) in set.iter().enumerate() {
+                for &b in &set[k + 1..] {
+                    if a != b {
+                        adj[a][b] = true;
+                        adj[b][a] = true;
+                    }
+                }
+            }
+        }
+
+        // Min-fill elimination.
+        let mut eliminated = vec![false; n];
+        let mut elim_cliques: Vec<Vec<usize>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            // Pick the non-eliminated vertex adding the fewest fill edges.
+            let mut best = usize::MAX;
+            let mut best_fill = usize::MAX;
+            for v in 0..n {
+                if eliminated[v] {
+                    continue;
+                }
+                let nbrs: Vec<usize> =
+                    (0..n).filter(|&u| !eliminated[u] && adj[v][u]).collect();
+                let mut fill = 0usize;
+                for (k, &a) in nbrs.iter().enumerate() {
+                    for &b in &nbrs[k + 1..] {
+                        if !adj[a][b] {
+                            fill += 1;
+                        }
+                    }
+                }
+                if fill < best_fill {
+                    best_fill = fill;
+                    best = v;
+                    if fill == 0 {
+                        break; // simplicial vertex: optimal locally
+                    }
+                }
+            }
+            let v = best;
+            let nbrs: Vec<usize> = (0..n).filter(|&u| !eliminated[u] && adj[v][u]).collect();
+            // Fill in.
+            for (k, &a) in nbrs.iter().enumerate() {
+                for &b in &nbrs[k + 1..] {
+                    adj[a][b] = true;
+                    adj[b][a] = true;
+                }
+            }
+            let mut clique = nbrs;
+            clique.push(v);
+            clique.sort_unstable();
+            elim_cliques.push(clique);
+            eliminated[v] = true;
+        }
+
+        // Keep only maximal cliques (in elimination order, a clique is
+        // redundant if contained in an earlier-collected one).
+        let mut cliques: Vec<Vec<usize>> = Vec::new();
+        for cand in elim_cliques {
+            if !cliques.iter().any(|c| is_subset(&cand, c)) {
+                cliques.retain(|c| !is_subset(c, &cand));
+                cliques.push(cand);
+            }
+        }
+        cliques.sort();
+
+        // Cell-limit check.
+        let mut clique_shapes = Vec::with_capacity(cliques.len());
+        for clique in &cliques {
+            let mut cells: u128 = 1;
+            for &a in clique {
+                cells = cells.saturating_mul(domain_shape[a] as u128);
+            }
+            if cells > cell_limit as u128 {
+                return Err(PgmError::CliqueTooLarge {
+                    cells,
+                    limit: cell_limit,
+                });
+            }
+            clique_shapes.push(clique.iter().map(|&a| domain_shape[a]).collect());
+        }
+
+        // Junction tree: max spanning tree on separator size.
+        let mut weighted = Vec::new();
+        for i in 0..cliques.len() {
+            for j in (i + 1)..cliques.len() {
+                let sep = intersect(&cliques[i], &cliques[j]);
+                if !sep.is_empty() {
+                    weighted.push((i, j, sep.len() as f64));
+                }
+            }
+        }
+        let tree_edges = maximum_spanning_tree(cliques.len(), &weighted);
+        let mut edges = Vec::with_capacity(tree_edges.len());
+        let mut adjacency = vec![Vec::new(); cliques.len()];
+        for (u, v) in tree_edges {
+            let (i, j) = if u < v { (u, v) } else { (v, u) };
+            let sep = intersect(&cliques[i], &cliques[j]);
+            let e = edges.len();
+            edges.push((i, j, sep));
+            adjacency[i].push((j, e));
+            adjacency[j].push((i, e));
+        }
+
+        Ok(JunctionTree {
+            domain_shape: domain_shape.to_vec(),
+            cliques,
+            clique_shapes,
+            edges,
+            adjacency,
+        })
+    }
+
+    /// Cardinalities of the full domain.
+    pub fn domain_shape(&self) -> &[usize] {
+        &self.domain_shape
+    }
+
+    /// All cliques (sorted attribute ids).
+    pub fn cliques(&self) -> &[Vec<usize>] {
+        &self.cliques
+    }
+
+    /// Shape of clique `i`.
+    pub fn clique_shape(&self, i: usize) -> &[usize] {
+        &self.clique_shapes[i]
+    }
+
+    /// Tree edges `(i, j, separator)`.
+    pub fn edges(&self) -> &[(usize, usize, Vec<usize>)] {
+        &self.edges
+    }
+
+    /// Neighbors of clique `i` as `(clique, edge index)`.
+    pub fn neighbors(&self, i: usize) -> &[(usize, usize)] {
+        &self.adjacency[i]
+    }
+
+    /// Index of the smallest clique containing `attrs` (sorted), if any.
+    pub fn containing_clique(&self, attrs: &[usize]) -> Option<usize> {
+        self.cliques
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| is_subset(attrs, c))
+            .min_by_key(|(_, c)| c.len())
+            .map(|(i, _)| i)
+    }
+
+    /// Largest clique cell count (the tree's computational width).
+    pub fn max_clique_cells(&self) -> usize {
+        self.clique_shapes
+            .iter()
+            .map(|s| s.iter().product::<usize>())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total parameter count (sum of clique cells).
+    pub fn total_cells(&self) -> usize {
+        self.clique_shapes
+            .iter()
+            .map(|s| s.iter().product::<usize>())
+            .sum()
+    }
+}
+
+/// Is sorted `a` a subset of sorted `b`?
+pub(crate) fn is_subset(a: &[usize], b: &[usize]) -> bool {
+    let mut j = 0usize;
+    for &x in a {
+        while j < b.len() && b[j] < x {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != x {
+            return false;
+        }
+        j += 1;
+    }
+    true
+}
+
+/// Intersection of two sorted sets.
+pub(crate) fn intersect(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_measurements_give_pair_cliques() {
+        // Pairs (0,1), (1,2), (2,3): already triangulated; cliques = pairs.
+        let shape = vec![2, 3, 4, 5];
+        let sets = vec![vec![0, 1], vec![1, 2], vec![2, 3]];
+        let jt = JunctionTree::build(&shape, &sets, 1 << 20).unwrap();
+        assert_eq!(jt.cliques().len(), 3);
+        assert_eq!(jt.edges().len(), 2);
+        assert!(jt.containing_clique(&[1, 2]).is_some());
+        assert!(jt.containing_clique(&[0, 3]).is_none());
+    }
+
+    #[test]
+    fn cycle_gets_triangulated() {
+        // 4-cycle (0,1),(1,2),(2,3),(0,3) requires a chord; cliques of size 3.
+        let shape = vec![2; 4];
+        let sets = vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 3]];
+        let jt = JunctionTree::build(&shape, &sets, 1 << 20).unwrap();
+        assert!(jt.cliques().iter().all(|c| c.len() <= 3));
+        assert!(jt.cliques().iter().any(|c| c.len() == 3));
+        // Every measurement still lives in a clique.
+        for s in &sets {
+            assert!(jt.containing_clique(s).is_some(), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn isolated_attributes_become_singletons() {
+        let shape = vec![2, 3, 4];
+        let sets = vec![vec![0, 1]];
+        let jt = JunctionTree::build(&shape, &sets, 1 << 20).unwrap();
+        assert!(jt.containing_clique(&[2]).is_some());
+    }
+
+    #[test]
+    fn running_intersection_property_holds() {
+        // For every attribute, the cliques containing it must form a
+        // connected subtree.
+        let shape = vec![2; 6];
+        let sets = vec![
+            vec![0, 1],
+            vec![1, 2],
+            vec![2, 3],
+            vec![0, 3],
+            vec![3, 4],
+            vec![4, 5],
+            vec![0, 5],
+        ];
+        let jt = JunctionTree::build(&shape, &sets, 1 << 20).unwrap();
+        for attr in 0..6 {
+            let members: Vec<usize> = (0..jt.cliques().len())
+                .filter(|&i| jt.cliques()[i].contains(&attr))
+                .collect();
+            if members.len() <= 1 {
+                continue;
+            }
+            // BFS within the induced subgraph.
+            let mut seen = vec![false; jt.cliques().len()];
+            let mut queue = vec![members[0]];
+            seen[members[0]] = true;
+            while let Some(c) = queue.pop() {
+                for &(nbr, e) in jt.neighbors(c) {
+                    let (_, _, sep) = &jt.edges()[e];
+                    if !seen[nbr] && sep.contains(&attr) && jt.cliques()[nbr].contains(&attr) {
+                        seen[nbr] = true;
+                        queue.push(nbr);
+                    }
+                }
+            }
+            for &m in &members {
+                assert!(seen[m], "attr {attr} cliques disconnected");
+            }
+        }
+    }
+
+    #[test]
+    fn cell_limit_enforced() {
+        let shape = vec![100, 100, 100];
+        let sets = vec![vec![0, 1, 2]];
+        assert!(matches!(
+            JunctionTree::build(&shape, &sets, 1000),
+            Err(PgmError::CliqueTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn set_helpers() {
+        assert!(is_subset(&[1, 3], &[0, 1, 2, 3]));
+        assert!(!is_subset(&[1, 4], &[0, 1, 2, 3]));
+        assert_eq!(intersect(&[0, 1, 2], &[1, 2, 5]), vec![1, 2]);
+    }
+}

@@ -1,0 +1,32 @@
+//! # synrd-pgm — discrete graphical-model substrate (Private-PGM work-alike)
+//!
+//! MST, AIM and PrivMRF all parameterize a synthetic distribution through a
+//! graphical model estimated from noisy marginals (McKenna et al.'s
+//! Private-PGM). This crate provides that machinery from scratch:
+//!
+//! * [`factor`] — log-space factors with product / marginalization / division;
+//! * [`junction_tree`] — min-fill triangulation + maximal cliques + maximum
+//!   spanning tree with the running-intersection property;
+//! * [`inference`] — Shafer–Shenoy calibration;
+//! * [`estimation`] — mirror-descent fitting of clique potentials to noisy
+//!   marginal measurements, with backtracking line search;
+//! * [`sampling`] — ancestral sampling from the calibrated tree;
+//! * [`spanning_tree`] — Kruskal maximum spanning tree / union-find (also
+//!   used directly by the MST synthesizer).
+
+#![allow(clippy::needless_range_loop)] // indexed loops are the clearer idiom in numeric kernels
+pub mod error;
+pub mod estimation;
+pub mod factor;
+pub mod inference;
+pub mod junction_tree;
+pub mod sampling;
+pub mod spanning_tree;
+
+pub use error::{PgmError, Result};
+pub use estimation::{estimate, EstimationOptions, FittedModel, NoisyMeasurement};
+pub use factor::{log_sum_exp, Factor};
+pub use inference::{calibrate, CalibratedTree};
+pub use junction_tree::JunctionTree;
+pub use sampling::TreeSampler;
+pub use spanning_tree::{maximum_spanning_tree, UnionFind};

@@ -1,0 +1,103 @@
+//! Kruskal maximum spanning tree with union-find — used both by the MST
+//! synthesizer (tree over attributes weighted by mutual information) and by
+//! junction-tree construction (tree over cliques weighted by separator size).
+
+/// Union-find with union by rank and path halving.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// Disjoint singletons 0..n.
+    pub fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    /// Representative of x's set.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]]; // path halving
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merge the sets of a and b; returns false if already joined.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+}
+
+/// Maximum spanning forest over `n_nodes` vertices given weighted edges
+/// `(u, v, weight)`. Returns the chosen edges as index pairs, in descending
+/// weight order. Handles disconnected graphs (returns a forest).
+pub fn maximum_spanning_tree(n_nodes: usize, edges: &[(usize, usize, f64)]) -> Vec<(usize, usize)> {
+    let mut order: Vec<usize> = (0..edges.len()).collect();
+    order.sort_by(|&a, &b| {
+        edges[b]
+            .2
+            .partial_cmp(&edges[a].2)
+            .expect("finite edge weights")
+    });
+    let mut uf = UnionFind::new(n_nodes);
+    let mut out = Vec::with_capacity(n_nodes.saturating_sub(1));
+    for idx in order {
+        let (u, v, _) = edges[idx];
+        if uf.union(u, v) {
+            out.push((u, v));
+            if out.len() + 1 == n_nodes {
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_heaviest_tree() {
+        // Triangle: keep the two heaviest edges.
+        let edges = [(0, 1, 3.0), (1, 2, 2.0), (0, 2, 1.0)];
+        let tree = maximum_spanning_tree(3, &edges);
+        assert_eq!(tree.len(), 2);
+        assert!(tree.contains(&(0, 1)));
+        assert!(tree.contains(&(1, 2)));
+    }
+
+    #[test]
+    fn handles_forest() {
+        // Two disconnected pairs.
+        let edges = [(0, 1, 1.0), (2, 3, 1.0)];
+        let tree = maximum_spanning_tree(4, &edges);
+        assert_eq!(tree.len(), 2);
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert_eq!(uf.find(0), uf.find(1));
+        assert_ne!(uf.find(0), uf.find(2));
+    }
+}

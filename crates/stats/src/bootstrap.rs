@@ -1,0 +1,130 @@
+//! Resampling: the standard bootstrap and the Bayesian bootstrap (Rubin
+//! 1981) used as the paper's control condition ("real, bootstrap" row of
+//! Figure 3).
+
+use crate::error::{Result, StatsError};
+use rand::Rng;
+
+/// Draw one vector of Bayesian-bootstrap weights: w ~ Dirichlet(1,…,1),
+/// sampled as normalized Exp(1) draws. Weights sum to 1.
+pub fn bayesian_bootstrap_weights<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<f64> {
+    let mut weights: Vec<f64> = (0..n)
+        .map(|_| -rng.gen::<f64>().max(f64::MIN_POSITIVE).ln())
+        .collect();
+    let total: f64 = weights.iter().sum();
+    weights.iter_mut().for_each(|w| *w /= total);
+    weights
+}
+
+/// Run `b` Bayesian-bootstrap replicates of a weighted statistic.
+///
+/// The statistic receives Dirichlet weights over the *original* rows, which
+/// is the smoothed analogue of resampling — each replicate is an i.i.d. draw
+/// from the posterior predictive of the data-generating mechanism.
+pub fn bayesian_bootstrap<R, F>(n: usize, b: usize, rng: &mut R, mut stat: F) -> Result<Vec<f64>>
+where
+    R: Rng + ?Sized,
+    F: FnMut(&[f64]) -> f64,
+{
+    if n == 0 {
+        return Err(StatsError::TooFewObservations { needed: 1, got: 0 });
+    }
+    Ok((0..b)
+        .map(|_| {
+            let w = bayesian_bootstrap_weights(n, rng);
+            stat(&w)
+        })
+        .collect())
+}
+
+/// Run `b` standard bootstrap replicates: each replicate passes resampled
+/// row indices (with replacement) to the statistic.
+pub fn bootstrap<R, F>(n: usize, b: usize, rng: &mut R, mut stat: F) -> Result<Vec<f64>>
+where
+    R: Rng + ?Sized,
+    F: FnMut(&[usize]) -> f64,
+{
+    if n == 0 {
+        return Err(StatsError::TooFewObservations { needed: 1, got: 0 });
+    }
+    let mut idx = vec![0usize; n];
+    Ok((0..b)
+        .map(|_| {
+            for slot in idx.iter_mut() {
+                *slot = rng.gen_range(0..n);
+            }
+            stat(&idx)
+        })
+        .collect())
+}
+
+/// Percentile confidence interval from replicate statistics.
+pub fn percentile_ci(replicates: &[f64], level: f64) -> (f64, f64) {
+    if replicates.is_empty() {
+        return (f64::NAN, f64::NAN);
+    }
+    let mut sorted = replicates.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite replicates"));
+    let alpha = (1.0 - level) / 2.0;
+    let pick = |q: f64| {
+        let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            sorted[lo]
+        } else {
+            sorted[lo] * (1.0 - (pos - lo as f64)) + sorted[hi] * (pos - lo as f64)
+        }
+    };
+    (pick(alpha), pick(1.0 - alpha))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dirichlet_weights_sum_to_one() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = bayesian_bootstrap_weights(100, &mut rng);
+        assert_eq!(w.len(), 100);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(w.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn bayesian_bootstrap_centers_on_weighted_mean() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let data: Vec<f64> = (0..500).map(|i| (i % 10) as f64).collect();
+        let reps = bayesian_bootstrap(data.len(), 400, &mut rng, |w| {
+            data.iter().zip(w).map(|(x, wi)| x * wi).sum::<f64>()
+        })
+        .unwrap();
+        let center = reps.iter().sum::<f64>() / reps.len() as f64;
+        assert!((center - 4.5).abs() < 0.05, "center = {center}");
+        let (lo, hi) = percentile_ci(&reps, 0.95);
+        assert!(lo < 4.5 && 4.5 < hi);
+    }
+
+    #[test]
+    fn standard_bootstrap_varies_replicates() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let data: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let reps = bootstrap(data.len(), 100, &mut rng, |idx| {
+            idx.iter().map(|&i| data[i]).sum::<f64>() / idx.len() as f64
+        })
+        .unwrap();
+        let min = reps.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = reps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max > min, "replicates must vary");
+    }
+
+    #[test]
+    fn empty_data_errors() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(bootstrap(0, 10, &mut rng, |_| 0.0).is_err());
+        assert!(bayesian_bootstrap(0, 10, &mut rng, |_| 0.0).is_err());
+    }
+}

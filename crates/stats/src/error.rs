@@ -1,0 +1,54 @@
+//! Error taxonomy for the statistics substrate.
+
+use std::fmt;
+
+/// Errors from statistical routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// Inputs had mismatched lengths.
+    LengthMismatch { left: usize, right: usize },
+    /// Not enough observations for the requested statistic.
+    TooFewObservations { needed: usize, got: usize },
+    /// A matrix was singular (or numerically so) during a solve.
+    SingularMatrix,
+    /// Dimensions were inconsistent for a matrix operation.
+    DimensionMismatch {
+        rows: usize,
+        cols: usize,
+        expected: usize,
+    },
+    /// An iterative fit failed to converge.
+    NoConvergence { iterations: usize },
+    /// A parameter was outside its valid range.
+    InvalidParameter { name: &'static str, value: f64 },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::LengthMismatch { left, right } => {
+                write!(f, "length mismatch: {left} vs {right}")
+            }
+            StatsError::TooFewObservations { needed, got } => {
+                write!(f, "too few observations: needed {needed}, got {got}")
+            }
+            StatsError::SingularMatrix => write!(f, "matrix is singular"),
+            StatsError::DimensionMismatch {
+                rows,
+                cols,
+                expected,
+            } => write!(f, "dimension mismatch: {rows}x{cols}, expected {expected}"),
+            StatsError::NoConvergence { iterations } => {
+                write!(f, "no convergence after {iterations} iterations")
+            }
+            StatsError::InvalidParameter { name, value } => {
+                write!(f, "invalid parameter {name} = {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Convenience alias used throughout the stats crate.
+pub type Result<T> = std::result::Result<T, StatsError>;

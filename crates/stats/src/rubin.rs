@@ -1,0 +1,126 @@
+//! Rubin's rules for combining estimates over multiple synthetic datasets —
+//! Equations (1)–(5) of the paper (§4.3, after Raghunathan, Reiter & Rubin).
+//!
+//! Given per-dataset point estimates q_i with variances v_i over m synthetic
+//! datasets:
+//!
+//! * q̂ = mean(q_i)                                  (Eq. 1)
+//! * v̂ = mean(v_i)                                  (Eq. 2)
+//! * b  = (1/(m−1)) Σ (q_i − q̂)²                    (Eq. 3)
+//! * T  = (1 + 1/m)·b − v̂                           (Eq. 4)
+//! * df = (1 − v̂ / ((1+1/m)·b))² · (m−1)            (Eq. 5)
+//!
+//! T can be negative in small samples; we clamp it to the standard
+//! non-negative adjustment `max(T, v̂/m)` before building intervals, and
+//! report the raw value alongside.
+
+use crate::error::{Result, StatsError};
+use crate::special::t_quantile;
+
+/// Combined inference over m synthetic replicates.
+#[derive(Debug, Clone, Copy)]
+pub struct RubinResult {
+    /// Pooled point estimate q̂.
+    pub estimate: f64,
+    /// Mean within-dataset variance v̂.
+    pub within_variance: f64,
+    /// Between-dataset variance b.
+    pub between_variance: f64,
+    /// Raw total variance T from Eq. 4 (may be negative).
+    pub total_variance_raw: f64,
+    /// Clamped total variance used for intervals.
+    pub total_variance: f64,
+    /// Degrees of freedom from Eq. 5.
+    pub df: f64,
+    /// Number of synthetic datasets combined.
+    pub m: usize,
+}
+
+impl RubinResult {
+    /// Two-sided confidence interval at `level` using the t reference
+    /// distribution of Eq. 5.
+    pub fn confidence_interval(&self, level: f64) -> (f64, f64) {
+        let alpha = (1.0 - level) / 2.0;
+        let df = self.df.max(1.0);
+        let t = t_quantile(1.0 - alpha, df);
+        let half = t * self.total_variance.sqrt();
+        (self.estimate - half, self.estimate + half)
+    }
+}
+
+/// Combine per-dataset estimates and variances with Rubin's rules.
+///
+/// # Errors
+/// Mismatched lengths or m < 2.
+pub fn combine(estimates: &[f64], variances: &[f64]) -> Result<RubinResult> {
+    if estimates.len() != variances.len() {
+        return Err(StatsError::LengthMismatch {
+            left: estimates.len(),
+            right: variances.len(),
+        });
+    }
+    let m = estimates.len();
+    if m < 2 {
+        return Err(StatsError::TooFewObservations { needed: 2, got: m });
+    }
+    let mf = m as f64;
+    let q_bar = estimates.iter().sum::<f64>() / mf;
+    let v_bar = variances.iter().sum::<f64>() / mf;
+    let b = estimates.iter().map(|q| (q - q_bar).powi(2)).sum::<f64>() / (mf - 1.0);
+    let inflation = (1.0 + 1.0 / mf) * b;
+    let t_raw = inflation - v_bar;
+    let t_clamped = t_raw.max(v_bar / mf).max(1e-300);
+    let df = if inflation > 0.0 {
+        (1.0 - v_bar / inflation).powi(2) * (mf - 1.0)
+    } else {
+        mf - 1.0
+    };
+    Ok(RubinResult {
+        estimate: q_bar,
+        within_variance: v_bar,
+        between_variance: b,
+        total_variance_raw: t_raw,
+        total_variance: t_clamped,
+        df: df.max(1.0),
+        m,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pooled_estimate_is_mean() {
+        let r = combine(&[1.0, 2.0, 3.0], &[0.1, 0.1, 0.1]).unwrap();
+        assert!((r.estimate - 2.0).abs() < 1e-12);
+        assert!((r.within_variance - 0.1).abs() < 1e-12);
+        assert!((r.between_variance - 1.0).abs() < 1e-12);
+        // Eq. 4: (1 + 1/3)·1 − 0.1 = 1.2333…
+        assert!((r.total_variance_raw - (4.0 / 3.0 - 0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_contains_estimate_and_widens_with_b() {
+        let tight = combine(&[5.0, 5.01, 4.99, 5.0], &[0.01; 4]).unwrap();
+        let loose = combine(&[4.0, 6.0, 3.5, 6.5], &[0.01; 4]).unwrap();
+        let (lo_t, hi_t) = tight.confidence_interval(0.95);
+        let (lo_l, hi_l) = loose.confidence_interval(0.95);
+        assert!(lo_t < 5.0 && 5.0 < hi_t);
+        assert!(hi_l - lo_l > hi_t - lo_t);
+    }
+
+    #[test]
+    fn negative_t_is_clamped() {
+        // Between-variance tiny, within-variance large => raw T negative.
+        let r = combine(&[1.0, 1.0001, 0.9999], &[10.0, 10.0, 10.0]).unwrap();
+        assert!(r.total_variance_raw < 0.0);
+        assert!(r.total_variance > 0.0);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(combine(&[1.0], &[0.1]).is_err());
+        assert!(combine(&[1.0, 2.0], &[0.1]).is_err());
+    }
+}

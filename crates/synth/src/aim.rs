@@ -1,0 +1,181 @@
+//! AIM (McKenna, Mullins, Sheldon & Miklau 2022): adaptive, iterative,
+//! workload-aware synthesis under ρ-zCDP.
+//!
+//! Each round spends a slice of the budget to (a) select — via the
+//! exponential mechanism — the workload marginal whose measurement is
+//! expected to improve the model the most, net of the noise it would add,
+//! and (b) measure it with the Gaussian mechanism, then refit the
+//! Private-PGM model. Candidates that would blow up the junction tree are
+//! excluded, which is what limits AIM on wide-domain data.
+
+use crate::common::{check_domain_limit, dataset_from_columns, measure_gaussian, planned_sigma};
+use crate::error::{Result, SynthError};
+use crate::workload::{all_pairs_under, WorkloadQuery};
+use crate::Synthesizer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use synrd_data::{Dataset, Domain, Marginal};
+use synrd_dp::{derive_seed, exponential_epsilon, exponential_mechanism, Accountant, Privacy};
+use synrd_pgm::{estimate, EstimationOptions, FittedModel, JunctionTree, TreeSampler};
+
+/// Configuration for [`Aim`].
+#[derive(Debug, Clone, Copy)]
+pub struct AimOptions {
+    /// Number of select-measure rounds.
+    pub rounds: usize,
+    /// Mirror-descent iterations per intermediate refit.
+    pub refit_iterations: usize,
+    /// Mirror-descent iterations for the final fit.
+    pub final_iterations: usize,
+    /// Maximum clique cells in the junction tree.
+    pub cell_limit: usize,
+    /// Largest domain size the fit will attempt.
+    pub domain_limit: f64,
+}
+
+impl Default for AimOptions {
+    fn default() -> Self {
+        AimOptions {
+            rounds: 12,
+            refit_iterations: 40,
+            final_iterations: 150,
+            cell_limit: 1 << 21,
+            domain_limit: 1e25,
+        }
+    }
+}
+
+/// The AIM synthesizer.
+#[derive(Debug, Clone, Default)]
+pub struct Aim {
+    options: AimOptions,
+    fitted: Option<(Domain, FittedModel)>,
+}
+
+impl Aim {
+    /// AIM with custom options.
+    pub fn with_options(options: AimOptions) -> Aim {
+        Aim {
+            options,
+            fitted: None,
+        }
+    }
+}
+
+impl Synthesizer for Aim {
+    fn name(&self) -> &'static str {
+        "AIM"
+    }
+
+    fn fit(&mut self, data: &Dataset, privacy: Privacy, seed: u64) -> Result<()> {
+        check_domain_limit(data.domain(), self.options.domain_limit, "AIM")?;
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, "aim-fit"));
+        let mut accountant = Accountant::new(privacy);
+        let total = accountant.total();
+        let d = data.n_attrs();
+        let shape = data.domain().shape();
+
+        // Initialization: all 1-way marginals with 10% of the budget.
+        let rho_init = 0.10 * total / d as f64;
+        let mut measurements = Vec::with_capacity(d + self.options.rounds);
+        for a in 0..d {
+            accountant.spend(rho_init)?;
+            measurements.push(measure_gaussian(data, &[a], rho_init, &mut rng)?);
+        }
+        let est_opts = |iters: usize, cell_limit: usize| EstimationOptions {
+            iterations: iters,
+            initial_step: 1.0,
+            cell_limit,
+        };
+        let mut model = estimate(
+            &shape,
+            &measurements,
+            est_opts(self.options.refit_iterations, self.options.cell_limit),
+        )?;
+
+        // Workload: all pairs that fit the cell limit.
+        let workload: Vec<WorkloadQuery> = all_pairs_under(data.domain(), self.options.cell_limit);
+        if workload.is_empty() {
+            return Err(SynthError::Infeasible {
+                reason: "AIM: no workload query fits the clique cell limit".to_string(),
+            });
+        }
+
+        // Rounds: half of each round's slice selects, half measures.
+        let rounds = self.options.rounds.min(workload.len());
+        let mut chosen_sets: Vec<Vec<usize>> = Vec::with_capacity(rounds);
+        for round in 0..rounds {
+            let remaining = accountant.remaining();
+            if remaining <= 1e-12 {
+                break;
+            }
+            let rho_round = remaining / (rounds - round) as f64;
+            let rho_select = rho_round / 2.0;
+            let rho_measure = rho_round / 2.0;
+            let sigma_next = planned_sigma(rho_measure);
+
+            // Candidate scores: workload error of the current model minus the
+            // expected noise cost of measuring (AIM's utility function).
+            let mut cand: Vec<&WorkloadQuery> = Vec::new();
+            let mut scores: Vec<f64> = Vec::new();
+            for q in &workload {
+                if chosen_sets.iter().any(|s| s == &q.attrs) {
+                    continue;
+                }
+                // Junction-tree guard: adding this set must stay tractable.
+                let mut sets = chosen_sets.clone();
+                sets.push(q.attrs.clone());
+                if JunctionTree::build(&shape, &sets, self.options.cell_limit).is_err() {
+                    continue;
+                }
+                let true_counts = Marginal::count(data, &q.attrs)?;
+                let n = true_counts.total();
+                let model_probs = model.marginal_or_independent(&q.attrs)?;
+                let l1: f64 = true_counts
+                    .counts()
+                    .iter()
+                    .zip(&model_probs)
+                    .map(|(&c, &p)| (c - n * p).abs())
+                    .sum();
+                let noise_cost =
+                    (2.0 / std::f64::consts::PI).sqrt() * sigma_next * true_counts.n_cells() as f64;
+                cand.push(q);
+                scores.push(q.weight * (l1 - noise_cost));
+            }
+            if cand.is_empty() {
+                break;
+            }
+            accountant.spend(rho_select)?;
+            let eps_select = exponential_epsilon(rho_select)?;
+            // Sensitivity: one record shifts a pair's L1 error by ≤ 2.
+            let pick = exponential_mechanism(&scores, 2.0, eps_select, &mut rng)?;
+            let attrs = cand[pick].attrs.clone();
+
+            accountant.spend(rho_measure)?;
+            measurements.push(measure_gaussian(data, &attrs, rho_measure, &mut rng)?);
+            chosen_sets.push(attrs);
+            model = estimate(
+                &shape,
+                &measurements,
+                est_opts(self.options.refit_iterations, self.options.cell_limit),
+            )?;
+        }
+
+        // Final, longer fit.
+        let model = estimate(
+            &shape,
+            &measurements,
+            est_opts(self.options.final_iterations, self.options.cell_limit),
+        )?;
+        self.fitted = Some((data.domain().clone(), model));
+        Ok(())
+    }
+
+    fn sample(&self, n: usize, seed: u64) -> Result<Dataset> {
+        let (domain, model) = self.fitted.as_ref().ok_or(SynthError::NotFitted)?;
+        let sampler = TreeSampler::new(model)?;
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, "aim-sample"));
+        let columns = sampler.sample_columns(n, &mut rng);
+        dataset_from_columns(domain, columns)
+    }
+}

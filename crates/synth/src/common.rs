@@ -1,0 +1,47 @@
+//! Shared helpers for the synthesizers.
+
+use crate::error::Result;
+use rand::rngs::StdRng;
+use synrd_data::{Dataset, Domain, Marginal};
+use synrd_dp::{gaussian_mechanism, gaussian_sigma};
+use synrd_pgm::NoisyMeasurement;
+
+/// Count the marginal of `attrs`, add ρ-zCDP Gaussian noise (L2 sensitivity
+/// 1 for a disjoint histogram), and package it for PGM estimation.
+pub(crate) fn measure_gaussian(
+    data: &Dataset,
+    attrs: &[usize],
+    rho: f64,
+    rng: &mut StdRng,
+) -> Result<NoisyMeasurement> {
+    let marginal = Marginal::count(data, attrs)?;
+    let mut values = marginal.counts().to_vec();
+    let sigma = gaussian_mechanism(&mut values, 1.0, rho, rng)?;
+    Ok(NoisyMeasurement {
+        attrs: attrs.to_vec(),
+        values,
+        sigma,
+    })
+}
+
+/// The σ a Gaussian measurement at budget ρ would carry (for planning).
+pub(crate) fn planned_sigma(rho: f64) -> f64 {
+    gaussian_sigma(1.0, rho).unwrap_or(f64::INFINITY)
+}
+
+/// Assemble a dataset from sampled columns over a cloned domain.
+pub(crate) fn dataset_from_columns(domain: &Domain, columns: Vec<Vec<u32>>) -> Result<Dataset> {
+    Ok(Dataset::new(domain.clone(), columns)?)
+}
+
+/// Guard on the total domain size, modeling the scalability ceiling of the
+/// reference implementations (the paper's 6-hour crosshatch cells).
+pub(crate) fn check_domain_limit(domain: &Domain, limit: f64, name: &str) -> Result<()> {
+    let size = domain.size();
+    if size > limit {
+        return Err(crate::error::SynthError::Infeasible {
+            reason: format!("{name}: domain size {size:.2e} exceeds the tractable limit {limit:.0e}"),
+        });
+    }
+    Ok(())
+}

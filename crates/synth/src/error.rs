@@ -1,0 +1,65 @@
+//! Error taxonomy for the synthesizer crate.
+
+use std::fmt;
+use synrd_data::DataError;
+use synrd_dp::DpError;
+use synrd_pgm::PgmError;
+
+/// Errors surfaced by synthesizer fitting and sampling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynthError {
+    /// `sample` called before a successful `fit`.
+    NotFitted,
+    /// The synthesizer declined the dataset (domain too large / fit budget
+    /// exceeded) — this models the paper's "unable to fit within 6 hours"
+    /// crosshatch cells in Figure 3.
+    Infeasible { reason: String },
+    /// Underlying data error.
+    Data(DataError),
+    /// Underlying privacy-accounting error.
+    Dp(DpError),
+    /// Underlying graphical-model error.
+    Pgm(PgmError),
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::NotFitted => write!(f, "synthesizer not fitted"),
+            SynthError::Infeasible { reason } => write!(f, "fit infeasible: {reason}"),
+            SynthError::Data(e) => write!(f, "data error: {e}"),
+            SynthError::Dp(e) => write!(f, "dp error: {e}"),
+            SynthError::Pgm(e) => write!(f, "pgm error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+impl From<DataError> for SynthError {
+    fn from(e: DataError) -> Self {
+        SynthError::Data(e)
+    }
+}
+
+impl From<DpError> for SynthError {
+    fn from(e: DpError) -> Self {
+        SynthError::Dp(e)
+    }
+}
+
+impl From<PgmError> for SynthError {
+    fn from(e: PgmError) -> Self {
+        // An oversized clique is a feasibility condition, not a bug: it is
+        // exactly how the PGM-based methods fail on large-domain datasets.
+        match e {
+            PgmError::CliqueTooLarge { cells, limit } => SynthError::Infeasible {
+                reason: format!("junction-tree clique with {cells} cells exceeds limit {limit}"),
+            },
+            other => SynthError::Pgm(other),
+        }
+    }
+}
+
+/// Convenience alias used throughout the synth crate.
+pub type Result<T> = std::result::Result<T, SynthError>;

@@ -1,0 +1,322 @@
+//! PrivBayes (Zhang et al. 2017): Bayesian-network synthesis under pure
+//! (ε,0)-DP.
+//!
+//! Half the ε budget buys the network structure (a sequence of
+//! exponential-mechanism selections of (attribute, parent-set) pairs scored
+//! by mutual information), half buys Laplace-noised conditional probability
+//! tables. Sampling is ancestral through the learned network.
+//!
+//! PrivBayes is the one mechanism in the benchmark defined over
+//! *modify-one-record* neighbors; we follow the paper and account for that
+//! with doubled sensitivity on the counts.
+
+use crate::common::{check_domain_limit, dataset_from_columns};
+use crate::error::{Result, SynthError};
+use crate::Synthesizer;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use synrd_data::{Dataset, Domain, Marginal};
+use synrd_dp::{derive_seed, exponential_mechanism, laplace_mechanism, Privacy};
+
+/// Configuration for [`PrivBayes`].
+#[derive(Debug, Clone, Copy)]
+pub struct PrivBayesOptions {
+    /// Maximum number of parents per node.
+    pub max_degree: usize,
+    /// Maximum cells in one conditional table.
+    pub cpt_cell_limit: usize,
+    /// Largest domain size the fit will attempt.
+    pub domain_limit: f64,
+}
+
+impl Default for PrivBayesOptions {
+    fn default() -> Self {
+        PrivBayesOptions {
+            max_degree: 2,
+            cpt_cell_limit: 1 << 18,
+            domain_limit: 1e25,
+        }
+    }
+}
+
+/// One node of the learned network: attribute, parents, and its noisy CPT
+/// stored as a flat joint table over (parents..., attr).
+#[derive(Debug, Clone)]
+struct NetworkNode {
+    attr: usize,
+    parents: Vec<usize>,
+    /// Noisy joint counts over sorted(parents ∪ {attr}).
+    table: Marginal,
+}
+
+/// The PrivBayes synthesizer.
+#[derive(Debug, Clone, Default)]
+pub struct PrivBayes {
+    options: PrivBayesOptions,
+    fitted: Option<(Domain, Vec<NetworkNode>)>,
+}
+
+impl PrivBayes {
+    /// PrivBayes with custom options.
+    pub fn with_options(options: PrivBayesOptions) -> PrivBayes {
+        PrivBayes {
+            options,
+            fitted: None,
+        }
+    }
+
+    /// The learned topological structure (attr, parents), post-fit.
+    pub fn structure(&self) -> Option<Vec<(usize, Vec<usize>)>> {
+        self.fitted.as_ref().map(|(_, nodes)| {
+            nodes
+                .iter()
+                .map(|n| (n.attr, n.parents.clone()))
+                .collect()
+        })
+    }
+}
+
+impl Synthesizer for PrivBayes {
+    fn name(&self) -> &'static str {
+        "PrivBayes"
+    }
+
+    fn fit(&mut self, data: &Dataset, privacy: Privacy, seed: u64) -> Result<()> {
+        check_domain_limit(data.domain(), self.options.domain_limit, "PrivBayes")?;
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, "privbayes-fit"));
+        // Pure-DP budget: convert whatever we were given onto the ε axis at
+        // δ=0 semantics (ρ-zCDP has no exact pure-ε form; we use the paper's
+        // shared ε axis where PrivBayes runs at the nominal ε).
+        let epsilon = match privacy {
+            Privacy::Pure { epsilon } => epsilon,
+            Privacy::Approx { epsilon, .. } => epsilon,
+            Privacy::Zcdp { rho } => (2.0 * rho).sqrt(),
+        };
+        let d = data.n_attrs();
+        let n = data.n_rows() as f64;
+        let eps_structure = epsilon / 2.0;
+        let eps_cpt = epsilon / 2.0;
+
+        // Effective degree: shrink when tables would outgrow the signal
+        // (PrivBayes' theta-usefulness heuristic, simplified).
+        let avg_card = data.domain().shape().iter().sum::<usize>() as f64 / d as f64;
+        let mut degree = self.options.max_degree;
+        while degree > 1 && avg_card.powi(degree as i32 + 1) > (n * epsilon / (4.0 * d as f64)).max(2.0)
+        {
+            degree -= 1;
+        }
+
+        // Precompute pairwise MI on the real data (used only inside the
+        // exponential mechanism, which provides the privacy).
+        let mut mi = vec![vec![0.0f64; d]; d];
+        for a in 0..d {
+            for b in (a + 1)..d {
+                let v = synrd_data::mutual_information(data, a, b)?;
+                mi[a][b] = v;
+                mi[b][a] = v;
+            }
+        }
+
+        // Greedy structure selection: first node uniformly at random, then
+        // d-1 exponential-mechanism picks over (attr, parent-set) candidates.
+        let eps_pick = eps_structure / d.saturating_sub(1).max(1) as f64;
+        let mut order: Vec<usize> = Vec::with_capacity(d);
+        let mut nodes: Vec<NetworkNode> = Vec::with_capacity(d);
+        let first = rng.gen_range(0..d);
+        order.push(first);
+
+        while order.len() < d {
+            // Candidates: for each unchosen attr, parent sets = top-s chosen
+            // attrs by MI, for s = 1..=degree (plus the empty set fallback).
+            let mut cand_attr: Vec<usize> = Vec::new();
+            let mut cand_parents: Vec<Vec<usize>> = Vec::new();
+            let mut cand_score: Vec<f64> = Vec::new();
+            for x in 0..d {
+                if order.contains(&x) {
+                    continue;
+                }
+                let mut ranked: Vec<usize> = order.clone();
+                ranked.sort_by(|&a, &b| {
+                    mi[x][b].partial_cmp(&mi[x][a]).expect("finite MI")
+                });
+                for s in 0..=degree.min(ranked.len()) {
+                    let mut parents: Vec<usize> = ranked[..s].to_vec();
+                    parents.sort_unstable();
+                    // Respect the CPT cell limit.
+                    let mut cells: u128 = data.domain().cardinality(x)? as u128;
+                    for &p in &parents {
+                        cells = cells.saturating_mul(data.domain().cardinality(p)? as u128);
+                    }
+                    if cells > self.options.cpt_cell_limit as u128 {
+                        continue;
+                    }
+                    // Score: n × (sum of pairwise MI to parents) — a standard
+                    // surrogate for joint MI that keeps sensitivity manageable.
+                    let score: f64 = parents.iter().map(|&p| mi[x][p]).sum::<f64>() * n;
+                    cand_attr.push(x);
+                    cand_parents.push(parents);
+                    cand_score.push(score);
+                }
+            }
+            if cand_attr.is_empty() {
+                return Err(SynthError::Infeasible {
+                    reason: "PrivBayes: no parent set fits the CPT cell limit".to_string(),
+                });
+            }
+            // MI score sensitivity ≈ ln(n)+1 per modified record (PrivBayes
+            // Lemma 4.1 simplified).
+            let sensitivity = n.max(2.0).ln() + 1.0;
+            let chosen = exponential_mechanism(&cand_score, sensitivity, eps_pick, &mut rng)?;
+            order.push(cand_attr[chosen]);
+            nodes.push(NetworkNode {
+                attr: cand_attr[chosen],
+                parents: cand_parents[chosen].clone(),
+                table: Marginal::from_counts(vec![0], vec![1], vec![0.0])?, // placeholder
+            });
+        }
+        // Root node for the first attribute (no parents).
+        nodes.insert(
+            0,
+            NetworkNode {
+                attr: first,
+                parents: Vec::new(),
+                table: Marginal::from_counts(vec![0], vec![1], vec![0.0])?,
+            },
+        );
+
+        // Noisy CPTs: Laplace with sensitivity 2 (modify-one neighbors).
+        let eps_table = eps_cpt / d as f64;
+        for node in &mut nodes {
+            let mut attrs: Vec<usize> = node.parents.clone();
+            attrs.push(node.attr);
+            attrs.sort_unstable();
+            let mut marginal = Marginal::count(data, &attrs)?;
+            laplace_mechanism(marginal.counts_mut(), 2.0, eps_table, &mut rng)?;
+            node.table = marginal;
+        }
+
+        self.fitted = Some((data.domain().clone(), nodes));
+        Ok(())
+    }
+
+    fn sample(&self, n: usize, seed: u64) -> Result<Dataset> {
+        let (domain, nodes) = self.fitted.as_ref().ok_or(SynthError::NotFitted)?;
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, "privbayes-sample"));
+        let d = domain.len();
+        let mut columns = vec![vec![0u32; n]; d];
+        let mut row = vec![0u32; d];
+        for r in 0..n {
+            for node in nodes {
+                // Conditional distribution over node.attr given sampled
+                // parent codes: walk the joint table cells that match.
+                let table = &node.table;
+                let attrs = table.attrs();
+                let attr_pos = attrs
+                    .iter()
+                    .position(|&a| a == node.attr)
+                    .expect("attr in own table");
+                let card = table.shape()[attr_pos];
+                let mut weights = vec![0.0f64; card];
+                // Build the fixed-code template.
+                let mut codes: Vec<u32> = attrs.iter().map(|&a| row[a]).collect();
+                for (v, w) in weights.iter_mut().enumerate() {
+                    codes[attr_pos] = v as u32;
+                    *w = table.counts()[table.index_of(&codes)].max(0.0);
+                }
+                let total: f64 = weights.iter().sum();
+                let value = if total <= 0.0 {
+                    rng.gen_range(0..card) as u32
+                } else {
+                    let mut t = rng.gen::<f64>() * total;
+                    let mut picked = card - 1;
+                    for (v, &w) in weights.iter().enumerate() {
+                        t -= w;
+                        if t < 0.0 {
+                            picked = v;
+                            break;
+                        }
+                    }
+                    picked as u32
+                };
+                row[node.attr] = value;
+            }
+            for (a, col) in columns.iter_mut().enumerate() {
+                col[r] = row[a];
+            }
+        }
+        dataset_from_columns(domain, columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use synrd_data::Attribute;
+
+    fn parented_data(n: usize) -> Dataset {
+        // c depends on (a, b) jointly: PrivBayes should pick both parents.
+        let domain = Domain::new(vec![
+            Attribute::binary("a"),
+            Attribute::binary("b"),
+            Attribute::binary("c"),
+        ]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut ds = Dataset::with_capacity(domain, n);
+        for _ in 0..n {
+            let a = u32::from(rng.gen::<f64>() < 0.5);
+            let b = u32::from(rng.gen::<f64>() < 0.5);
+            let c = if rng.gen::<f64>() < 0.92 { a ^ b } else { 1 - (a ^ b) };
+            ds.push_row(&[a, b, c]).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn structure_covers_every_attribute_once() {
+        let data = parented_data(4_000);
+        let mut synth = PrivBayes::default();
+        synth.fit(&data, Privacy::pure(2.0).unwrap(), 3).unwrap();
+        let structure = synth.structure().unwrap();
+        assert_eq!(structure.len(), 3);
+        let mut attrs: Vec<usize> = structure.iter().map(|(a, _)| *a).collect();
+        attrs.sort_unstable();
+        assert_eq!(attrs, vec![0, 1, 2]);
+        // Parents always precede their children in the sampling order.
+        for (idx, (_, parents)) in structure.iter().enumerate() {
+            let before: Vec<usize> = structure[..idx].iter().map(|(a, _)| *a).collect();
+            for p in parents {
+                assert!(before.contains(p), "parent {p} sampled after child");
+            }
+        }
+    }
+
+    #[test]
+    fn cpt_cell_limit_constrains_parents() {
+        let data = parented_data(1_000);
+        let mut synth = PrivBayes::with_options(PrivBayesOptions {
+            cpt_cell_limit: 2, // only single-attribute tables fit
+            ..PrivBayesOptions::default()
+        });
+        let result = synth.fit(&data, Privacy::pure(1.0).unwrap(), 3);
+        // Root tables need cardinality 2 <= 2, parented tables need 4 > 2:
+        // the fit survives with parent-free structure.
+        result.unwrap();
+        let structure = synth.structure().unwrap();
+        assert!(structure.iter().all(|(_, p)| p.is_empty()));
+    }
+
+    #[test]
+    fn sampled_marginals_track_data_at_high_eps() {
+        let data = parented_data(6_000);
+        let mut synth = PrivBayes::default();
+        synth.fit(&data, Privacy::pure(8.0).unwrap(), 9).unwrap();
+        let sample = synth.sample(6_000, 11).unwrap();
+        for a in 0..3 {
+            let real = data.mean_of(a).unwrap();
+            let got = sample.mean_of(a).unwrap();
+            assert!((real - got).abs() < 0.05, "attr {a}: {got} vs {real}");
+        }
+    }
+}

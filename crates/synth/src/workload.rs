@@ -1,0 +1,77 @@
+//! Workload generation for the workload-aware synthesizers (AIM, GEM).
+//!
+//! The paper's setting: scientists pre-select ~10–60 variables of interest
+//! and "relationships between any of the selected variables of interest are
+//! permitted", so the workload is all attribute pairs, uniformly weighted
+//! (§2, *Workload-aware synthesizers*).
+
+use synrd_data::Domain;
+
+/// One workload query: a marginal over an attribute set with a weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadQuery {
+    /// Sorted attribute indices.
+    pub attrs: Vec<usize>,
+    /// Relative importance.
+    pub weight: f64,
+}
+
+/// All pairs of attributes, uniformly weighted.
+pub fn all_pairs(domain: &Domain) -> Vec<WorkloadQuery> {
+    let d = domain.len();
+    let mut out = Vec::with_capacity(d * d.saturating_sub(1) / 2);
+    for a in 0..d {
+        for b in (a + 1)..d {
+            out.push(WorkloadQuery {
+                attrs: vec![a, b],
+                weight: 1.0,
+            });
+        }
+    }
+    out
+}
+
+/// All pairs, but only those whose marginal table fits under `cell_limit` —
+/// the candidate filter the PGM-based methods need on wide-domain data.
+pub fn all_pairs_under(domain: &Domain, cell_limit: usize) -> Vec<WorkloadQuery> {
+    all_pairs(domain)
+        .into_iter()
+        .filter(|q| {
+            domain
+                .cells(&q.attrs)
+                .map(|c| c <= cell_limit as u128)
+                .unwrap_or(false)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synrd_data::Attribute;
+
+    #[test]
+    fn pair_count_is_binomial() {
+        let domain = Domain::new(vec![
+            Attribute::binary("a"),
+            Attribute::binary("b"),
+            Attribute::binary("c"),
+            Attribute::ordinal("d", 5),
+        ]);
+        let w = all_pairs(&domain);
+        assert_eq!(w.len(), 6);
+        assert!(w.iter().all(|q| q.attrs.len() == 2 && q.weight == 1.0));
+    }
+
+    #[test]
+    fn cell_limit_filters() {
+        let domain = Domain::new(vec![
+            Attribute::ordinal("big1", 1000),
+            Attribute::ordinal("big2", 1000),
+            Attribute::binary("small"),
+        ]);
+        let w = all_pairs_under(&domain, 5000);
+        // big1×big2 = 1e6 cells excluded; the two big×small pairs stay.
+        assert_eq!(w.len(), 2);
+    }
+}

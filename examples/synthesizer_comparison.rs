@@ -1,0 +1,73 @@
+//! Compare all six synthesizers on one paper: parity, fit time, and
+//! 1-way marginal fidelity — the trade-off surface of §7.
+//!
+//! ```text
+//! cargo run --release --example synthesizer_comparison
+//! ```
+
+use std::time::Instant;
+use synrd::publication_by_id;
+use synrd_data::Marginal;
+use synrd_synth::{SynthError, SynthKind};
+
+fn main() {
+    let paper = publication_by_id("fruiht2018").expect("registered paper");
+    let data = paper.generate(4_173, 42); // the paper's sample size
+    let findings = paper.findings();
+    let real_stats: Vec<Vec<f64>> = findings
+        .iter()
+        .map(|f| f.evaluate(&data).expect("real stats"))
+        .collect();
+    let eps = std::f64::consts::E;
+
+    println!("paper: {} at eps = e\n", paper.name());
+    println!(
+        "{:<12} {:>9} {:>10} {:>12}",
+        "synthesizer", "parity", "fit (s)", "1-way L1"
+    );
+    for kind in SynthKind::ALL {
+        let mut synth = kind.build();
+        let started = Instant::now();
+        match synth.fit(&data, kind.native_privacy(eps, data.n_rows()), 3) {
+            Ok(()) => {}
+            Err(SynthError::Infeasible { .. }) => {
+                println!("{:<12} {:>9} {:>10} {:>12}", kind.name(), "infeas.", "-", "-");
+                continue;
+            }
+            Err(e) => {
+                println!("{:<12} failed: {e}", kind.name());
+                continue;
+            }
+        }
+        let fit_s = started.elapsed().as_secs_f64();
+        let synthetic = synth.sample(data.n_rows(), 5).expect("sampling");
+
+        let reproduced = findings
+            .iter()
+            .zip(&real_stats)
+            .filter(|(f, real)| {
+                f.evaluate(&synthetic)
+                    .map(|s| f.reproduced(real, &s))
+                    .unwrap_or(false)
+            })
+            .count();
+        let parity = reproduced as f64 / findings.len() as f64;
+
+        // Mean 1-way marginal L1 distance.
+        let mut l1 = 0.0;
+        for a in 0..data.n_attrs() {
+            let real_m = Marginal::count(&data, &[a]).expect("marginal");
+            let synth_m = Marginal::count(&synthetic, &[a]).expect("marginal");
+            l1 += real_m.l1_distance(&synth_m);
+        }
+        l1 /= data.n_attrs() as f64;
+
+        println!(
+            "{:<12} {:>9.3} {:>10.2} {:>12.4}",
+            kind.name(),
+            parity,
+            fit_s,
+            l1
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Ground-truth calibration: every publication's findings must be
+//! well-defined and self-consistent on the generated "real" data, across
+//! seeds — otherwise the parity benchmark would be vacuous.
+
+use synrd::finding::Check;
+use synrd::publication::all_publications;
+
+/// Quick-scale sample size for a paper.
+fn quick_n(paper_n: usize) -> usize {
+    ((paper_n as f64 * 0.1) as usize).max(2_000)
+}
+
+#[test]
+fn all_findings_evaluate_finite_on_real_data() {
+    for paper in all_publications() {
+        let n = quick_n(paper.dataset().paper_n());
+        for seed in [11u64, 77u64] {
+            let data = paper.generate(n, seed);
+            for finding in paper.findings() {
+                let stats = finding
+                    .evaluate(&data)
+                    .unwrap_or_else(|e| panic!("{} #{}: {e}", paper.name(), finding.id));
+                assert!(
+                    stats.iter().all(|v| v.is_finite()),
+                    "{} #{} produced non-finite stats {stats:?} (seed {seed})",
+                    paper.name(),
+                    finding.id
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn findings_self_reproduce() {
+    // A finding evaluated twice on the same data must always reproduce
+    // itself; this validates the check semantics.
+    for paper in all_publications() {
+        let data = paper.generate(quick_n(paper.dataset().paper_n()), 5);
+        for finding in paper.findings() {
+            let stats = finding.evaluate(&data).unwrap();
+            assert!(
+                finding.reproduced(&stats, &stats),
+                "{} #{} does not self-reproduce",
+                paper.name(),
+                finding.id
+            );
+        }
+    }
+}
+
+#[test]
+fn order_findings_are_strict_on_real_data() {
+    // Order/sign findings must not sit on a knife's edge: the claimed order
+    // should be strict on real data, otherwise parity would be a coin flip.
+    for paper in all_publications() {
+        let data = paper.generate(quick_n(paper.dataset().paper_n()), 21);
+        for finding in paper.findings() {
+            let stats = finding.evaluate(&data).unwrap();
+            match finding.check {
+                Check::Order => {
+                    // All pairwise gaps distinct (no exact ties).
+                    for i in 0..stats.len() {
+                        for j in (i + 1)..stats.len() {
+                            assert!(
+                                (stats[i] - stats[j]).abs() > 1e-12,
+                                "{} #{}: tie in order stats {stats:?}",
+                                paper.name(),
+                                finding.id
+                            );
+                        }
+                    }
+                }
+                Check::Sign => {
+                    for v in &stats {
+                        assert!(
+                            v.abs() > 1e-9,
+                            "{} #{}: zero-sign statistic {stats:?}",
+                            paper.name(),
+                            finding.id
+                        );
+                    }
+                }
+                Check::Tolerance { .. } => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn planted_directions_match_published_claims() {
+    // Spot-check the directional claims that define each paper's headline
+    // conclusion (the generator must plant them, every seed).
+    let by_id = |id: &str| synrd::publication::publication_by_id(id).unwrap();
+
+    // Saw: boys > girls in 9th-grade aspiration (finding 90, descending).
+    let saw = by_id("saw2018");
+    let data = saw.generate(20_000, 9);
+    let f90 = saw.findings().into_iter().find(|f| f.id == 90).unwrap();
+    let stats = f90.evaluate(&data).unwrap();
+    assert!(stats[0] > stats[1], "Saw gender gap: {stats:?}");
+
+    // Fairman: Black > White marijuana-first (finding 20, descending).
+    let fairman = by_id("fairman2019");
+    let data = fairman.generate(50_000, 9);
+    let f20 = fairman.findings().into_iter().find(|f| f.id == 20).unwrap();
+    let stats = f20.evaluate(&data).unwrap();
+    assert!(stats[0] > stats[1], "Fairman race gap: {stats:?}");
+
+    // Iverson: football null effect within tolerance (finding 38).
+    let iverson = by_id("iverson2021");
+    let data = iverson.generate(20_000, 9);
+    let f38 = iverson.findings().into_iter().find(|f| f.id == 38).unwrap();
+    let stats = f38.evaluate(&data).unwrap();
+    assert!(stats[0].abs() < 0.03, "Iverson football effect: {stats:?}");
+
+    // Fruiht: negative mentor × parent-college interaction (finding 53).
+    let fruiht = by_id("fruiht2018");
+    let data = fruiht.generate(20_000, 9);
+    let f53 = fruiht.findings().into_iter().find(|f| f.id == 53).unwrap();
+    let stats = f53.evaluate(&data).unwrap();
+    assert!(stats[0] < 0.0, "Fruiht interaction: {stats:?}");
+
+    // Lee: strong math9-math11 correlation (finding 64: r - 0.7 > 0).
+    let lee = by_id("lee2021");
+    let data = lee.generate(10_000, 9);
+    let f64_ = lee.findings().into_iter().find(|f| f.id == 64).unwrap();
+    let stats = f64_.evaluate(&data).unwrap();
+    assert!(stats[0] > 0.0, "Lee strong correlation: {stats:?}");
+
+    // Jeong: FPR privileged > disadvantaged under the logistic model
+    // (finding 58, descending).
+    let jeong = by_id("jeong2021");
+    let data = jeong.generate(8_000, 9);
+    let f58 = jeong.findings().into_iter().find(|f| f.id == 58).unwrap();
+    let stats = f58.evaluate(&data).unwrap();
+    assert!(stats[0] > stats[1], "Jeong FPR gap: {stats:?}");
+
+    // Pierce: spousal support beats friend support (finding 79).
+    let pierce = by_id("pierce2019");
+    let data = pierce.generate(10_000, 9);
+    let f79 = pierce.findings().into_iter().find(|f| f.id == 79).unwrap();
+    let stats = f79.evaluate(&data).unwrap();
+    assert!(stats[0] > stats[1], "Pierce coefficients: {stats:?}");
+
+    // Assari: pooled obesity-death null, Black-specific positive
+    // (findings 5 and 7).
+    let assari = by_id("assari2019");
+    let data = assari.generate(30_000, 9);
+    let f5 = assari.findings().into_iter().find(|f| f.id == 5).unwrap();
+    assert!(f5.evaluate(&data).unwrap()[0].abs() < 0.045);
+    let f7 = assari.findings().into_iter().find(|f| f.id == 7).unwrap();
+    assert!(f7.evaluate(&data).unwrap()[0] > 0.0);
+}
+
+#[test]
+fn visual_finding_is_registered_for_fairman() {
+    let fairman = synrd::publication::publication_by_id("fairman2019").unwrap();
+    assert!(fairman.visual().is_some());
+    for other in ["saw2018", "lee2021", "assari2019"] {
+        assert!(synrd::publication::publication_by_id(other)
+            .unwrap()
+            .visual()
+            .is_none());
+    }
+}
