@@ -13,14 +13,18 @@ fn fit_cost(c: &mut Criterion) {
     let mut group = c.benchmark_group("fit_saw2018_n2000");
     group.sample_size(10);
     for kind in SynthKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            b.iter(|| {
-                let mut synth = kind.build();
-                synth
-                    .fit(&data, kind.native_privacy(eps, data.n_rows()), 7)
-                    .expect("fit");
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut synth = kind.build();
+                    synth
+                        .fit(&data, kind.native_privacy(eps, data.n_rows()), 7)
+                        .expect("fit");
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -49,14 +53,18 @@ fn wide_domain_fit(c: &mut Criterion) {
     let mut group = c.benchmark_group("fit_jeong_n1500_wide_domain");
     group.sample_size(10);
     for kind in [SynthKind::Gem, SynthKind::PateCtgan] {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            b.iter(|| {
-                let mut synth = kind.build();
-                synth
-                    .fit(&data, kind.native_privacy(eps, data.n_rows()), 7)
-                    .expect("fit");
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut synth = kind.build();
+                    synth
+                        .fit(&data, kind.native_privacy(eps, data.n_rows()), 7)
+                        .expect("fit");
+                });
+            },
+        );
     }
     group.finish();
 }

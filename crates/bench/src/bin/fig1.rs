@@ -35,7 +35,10 @@ fn main() {
     let synth_table = finding.table(&synthetic).expect("table over synthetic");
 
     println!("\n=== Figure 1 (bottom): MST synthetic at eps = e ===\n");
-    print!("{}", finding.render(&synthetic, &synth_table).expect("render"));
+    print!(
+        "{}",
+        finding.render(&synthetic, &synth_table).expect("render")
+    );
 
     let similarity = VisualFinding::similarity(&real_table, &synth_table);
     println!("\nMean per-group total-variation similarity: {similarity:.4}");

@@ -34,13 +34,21 @@ fn main() {
                     .filter(|(_, p)| p.is_finite())
                     .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
                 if let Some((kind, parity)) = best {
-                    println!("  best synthesizer: {} (mean parity {:.3})", kind.name(), parity);
+                    println!(
+                        "  best synthesizer: {} (mean parity {:.3})",
+                        kind.name(),
+                        parity
+                    );
                 }
                 let hard = never_reproduced(&report, 0.5);
                 if !hard.is_empty() {
                     println!("  findings below 0.5 parity for every synthesizer: {hard:?}");
                 }
-                println!("  [{} in {:.1}s]\n", report.paper_id, started.elapsed().as_secs_f64());
+                println!(
+                    "  [{} in {:.1}s]\n",
+                    report.paper_id,
+                    started.elapsed().as_secs_f64()
+                );
             }
             Err(e) => println!("  {} failed: {e}\n", paper.name()),
         }

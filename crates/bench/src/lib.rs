@@ -22,7 +22,9 @@ use synrd::benchmark::BenchmarkConfig;
 /// Supported flags:
 /// * `--paper-scale` — full protocol (expect hours of compute);
 /// * `--papers a,b,c` — restrict to specific paper ids;
-/// * `--seeds K` / `--bootstraps B` / `--scale F` — override grid knobs.
+/// * `--seeds K` / `--bootstraps B` / `--scale F` — override grid knobs;
+/// * `--threads N` — worker threads for the grid (1 = sequential; results
+///   are bit-identical either way).
 pub fn config_from_args() -> (BenchmarkConfig, Vec<String>) {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut config = if args.iter().any(|a| a == "--paper-scale") {
@@ -52,6 +54,11 @@ pub fn config_from_args() -> (BenchmarkConfig, Vec<String>) {
             "--scale" => {
                 if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
                     config.data_scale = v;
+                }
+            }
+            "--threads" => {
+                if let Some(v) = it.next().and_then(|v| v.parse().ok()) {
+                    config.threads = v;
                 }
             }
             _ => {}

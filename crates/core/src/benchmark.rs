@@ -1,12 +1,20 @@
 //! The benchmark driver: the k-seeds × B-bootstraps × ε-grid × synthesizer
-//! evaluation loop of §4.2/§7, parallelized over (synthesizer, ε) cells.
+//! evaluation loop of §4.2/§7, parallelized over (synthesizer, ε) cells
+//! with rayon.
+//!
+//! Every trial seed is a word of the cell's ChaCha8 keystream, keyed by
+//! `(master seed, paper, synthesizer, ε)` — see [`synrd_dp::grid_seed`] —
+//! so a cell's outcome is a pure function of its identity. The parallel
+//! grid is therefore byte-identical to the sequential one (asserted by
+//! `PaperReport::bitwise_eq` in the integration tests), and any sub-grid
+//! rerun reproduces the full run's numbers exactly.
 
 use crate::error::{Result, SynrdError};
 use crate::finding::FindingType;
 use crate::publication::Publication;
-use std::sync::mpsc;
+use rayon::prelude::*;
 use std::time::{Duration, Instant};
-use synrd_dp::derive_seed_indexed;
+use synrd_dp::grid_seed;
 use synrd_synth::{SynthError, SynthKind};
 
 /// The paper's ε grid: e⁻³, e⁻², e⁻¹, e⁰, e¹, e².
@@ -133,6 +141,20 @@ impl CellOutcome {
     pub fn mean_variance(&self) -> f64 {
         mean_finite(&self.seed_variance)
     }
+
+    /// Exact equality of the statistical payload, comparing floats by bit
+    /// pattern (so NaN cells from skipped / infeasible statuses compare
+    /// equal rather than poisoning the comparison). `fit_seconds` is
+    /// wall-clock telemetry, not a statistic, and is deliberately excluded.
+    pub fn bitwise_eq(&self, other: &CellOutcome) -> bool {
+        bits_eq(&self.parity, &other.parity)
+            && bits_eq(&self.seed_variance, &other.seed_variance)
+            && self.status == other.status
+    }
+}
+
+fn bits_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
 }
 
 fn mean_finite(values: &[f64]) -> f64 {
@@ -166,6 +188,26 @@ pub struct PaperReport {
     pub n_rows: usize,
 }
 
+impl PaperReport {
+    /// Exact equality of everything the report *claims* — findings, grid
+    /// layout, per-cell parity/variance/status (bit-for-bit on floats) and
+    /// the control row. Per-cell `fit_seconds` timing telemetry is excluded.
+    /// This is what the parallel-vs-sequential determinism test asserts.
+    pub fn bitwise_eq(&self, other: &PaperReport) -> bool {
+        self.paper_id == other.paper_id
+            && self.paper_name == other.paper_name
+            && self.findings == other.findings
+            && bits_eq(&self.epsilons, &other.epsilons)
+            && self.synthesizers == other.synthesizers
+            && self.cells.len() == other.cells.len()
+            && self.cells.iter().zip(&other.cells).all(|(row_a, row_b)| {
+                row_a.len() == row_b.len() && row_a.iter().zip(row_b).all(|(a, b)| a.bitwise_eq(b))
+            })
+            && bits_eq(&self.control, &other.control)
+            && self.n_rows == other.n_rows
+    }
+}
+
 /// Run the full grid for one publication.
 ///
 /// # Errors
@@ -194,74 +236,75 @@ pub fn run_paper(paper: &dyn Publication, config: &BenchmarkConfig) -> Result<Pa
     // DESIGN.md §3 for the resampling-vs-weighting note).
     let control = control_row(paper, &real, &findings, &real_stats, config)?;
 
-    // Cell grid, parallel over (synth, eps).
+    // Cell grid, parallel over (synth, eps) in row-major order. Each cell's
+    // seeds come from its own ChaCha8 keystream, so the schedule cannot
+    // influence the numbers; `config.threads <= 1` forces the sequential
+    // path (used by tests to assert bitwise equality with the parallel one).
+    // A panicking cell is caught and surfaced as a per-paper error so a
+    // multi-paper sweep can keep going (fig3/fig4 print-and-continue).
     let grid: Vec<(usize, usize)> = (0..config.synthesizers.len())
         .flat_map(|s| (0..config.epsilons.len()).map(move |e| (s, e)))
         .collect();
-    let (tx, rx) = mpsc::channel::<(usize, usize, CellOutcome)>();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let real_ref = &real;
-    let findings_ref = &findings;
-    let real_stats_ref = &real_stats;
+    let paper_id = paper.dataset().id();
+    let cell = |&(s_idx, e_idx): &(usize, usize)| -> CellOutcome {
+        run_cell(
+            paper_id,
+            &real,
+            &findings,
+            &real_stats,
+            config,
+            config.synthesizers[s_idx],
+            config.epsilons[e_idx],
+        )
+    };
+    let outcomes: Vec<CellOutcome> = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if config.threads > 1 {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(config.threads)
+                .build()
+                .expect("thread pool construction cannot fail")
+                .install(|| grid.par_iter().map(cell).collect())
+        } else {
+            grid.iter().map(cell).collect()
+        }
+    }))
+    .map_err(|payload| {
+        let detail = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        SynrdError::Config(format!("worker thread panicked: {detail}"))
+    })?;
+    let cells: Vec<Vec<CellOutcome>> = if config.epsilons.is_empty() {
+        vec![Vec::new(); config.synthesizers.len()]
+    } else {
+        outcomes
+            .chunks(config.epsilons.len())
+            .map(<[CellOutcome]>::to_vec)
+            .collect()
+    };
 
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..config.threads.min(grid.len()).max(1) {
-            let tx = tx.clone();
-            let next = &next;
-            let grid = &grid;
-            scope.spawn(move |_| {
-                loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= grid.len() {
-                        break;
-                    }
-                    let (s_idx, e_idx) = grid[i];
-                    let outcome = run_cell(
-                        paper,
-                        real_ref,
-                        findings_ref,
-                        real_stats_ref,
-                        config,
-                        config.synthesizers[s_idx],
-                        config.epsilons[e_idx],
-                    );
-                    // The receiver lives until the scope ends.
-                    let _ = tx.send((s_idx, e_idx, outcome));
-                }
-            });
-        }
-        drop(tx);
-        let mut cells: Vec<Vec<CellOutcome>> = (0..config.synthesizers.len())
-            .map(|_| {
-                (0..config.epsilons.len())
-                    .map(|_| CellOutcome::unavailable(CellStatus::Skipped, findings_ref.len(), 0.0))
-                    .collect()
-            })
-            .collect();
-        for (s, e, outcome) in rx.iter() {
-            cells[s][e] = outcome;
-        }
-        cells
-    })
-    .map(|cells| PaperReport {
-        paper_id: paper.dataset().id(),
+    Ok(PaperReport {
+        paper_id,
         paper_name: paper.name(),
-        findings: findings
-            .iter()
-            .map(|f| (f.id, f.name, f.kind))
-            .collect(),
+        findings: findings.iter().map(|f| (f.id, f.name, f.kind)).collect(),
         epsilons: config.epsilons.clone(),
         synthesizers: config.synthesizers.clone(),
         cells,
         control,
         n_rows: n,
     })
-    .map_err(|_| SynrdError::Config("worker thread panicked".to_string()))
 }
 
 /// One (synthesizer, ε) cell: k fits × B draws.
+///
+/// Trial seeds are words of the cell's `(master, paper, synth, ε)` ChaCha8
+/// keystream: words `0..k` seed the fits and word `k + seed_idx·B + b` seeds
+/// draw `b` of fit `seed_idx` — so fit seeds do not depend on `B`, and no
+/// seed is shared across cells.
 fn run_cell(
-    paper: &dyn Publication,
+    paper_id: &str,
     real: &synrd_data::Dataset,
     findings: &[crate::finding::Finding],
     real_stats: &[Vec<f64>],
@@ -280,7 +323,13 @@ fn run_cell(
 
     for seed_idx in 0..config.seeds {
         let mut synth = kind.build();
-        let fit_seed = derive_seed_indexed(config.data_seed, "fit", seed_idx as u64);
+        let fit_seed = grid_seed(
+            config.data_seed,
+            paper_id,
+            kind.name(),
+            epsilon,
+            seed_idx as u64,
+        );
         let started = Instant::now();
         match synth.fit(real, privacy, fit_seed) {
             Ok(()) => {}
@@ -314,8 +363,13 @@ fn run_cell(
 
         let mut holds = vec![0.0f64; findings.len()];
         for b in 0..config.bootstraps {
-            let draw_seed =
-                derive_seed_indexed(fit_seed, "draw", (seed_idx * config.bootstraps + b) as u64);
+            let draw_seed = grid_seed(
+                config.data_seed,
+                paper_id,
+                kind.name(),
+                epsilon,
+                (config.seeds + seed_idx * config.bootstraps + b) as u64,
+            );
             let Ok(sample) = synth.sample(real.n_rows(), draw_seed) else {
                 continue; // counts as not reproduced for every finding
             };
@@ -329,15 +383,8 @@ fn run_cell(
                 }
             }
         }
-        per_seed_parity.push(
-            holds
-                .iter()
-                .map(|h| h / config.bootstraps as f64)
-                .collect(),
-        );
+        per_seed_parity.push(holds.iter().map(|h| h / config.bootstraps as f64).collect());
     }
-    let _ = paper; // paper identity not needed here beyond documentation
-
     let k = per_seed_parity.len().max(1) as f64;
     let parity: Vec<f64> = (0..findings.len())
         .map(|fi| per_seed_parity.iter().map(|s| s[fi]).sum::<f64>() / k)
@@ -420,5 +467,80 @@ mod tests {
             fit_seconds: 0.0,
         };
         assert!((cell.mean_parity() - 0.75).abs() < 1e-12);
+    }
+
+    /// A stand-in paper whose finding evaluates fine on real data (ground
+    /// truth + control) but panics inside the grid, to exercise the
+    /// panic-containment contract of `run_paper`.
+    struct PanickyPaper;
+
+    impl crate::publication::Publication for PanickyPaper {
+        fn dataset(&self) -> synrd_data::BenchmarkDataset {
+            synrd_data::BenchmarkDataset::Saw2018
+        }
+
+        fn generate(&self, n: usize, seed: u64) -> synrd_data::Dataset {
+            use rand::{Rng, SeedableRng};
+            let domain = synrd_data::Domain::new(vec![
+                synrd_data::Attribute::binary("x"),
+                synrd_data::Attribute::binary("y"),
+            ]);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut ds = synrd_data::Dataset::with_capacity(domain, n);
+            for _ in 0..n {
+                let x = u32::from(rng.gen::<f64>() < 0.5);
+                let y = if rng.gen::<f64>() < 0.8 { x } else { 1 - x };
+                ds.push_row(&[x, y]).unwrap();
+            }
+            ds
+        }
+
+        fn findings(&self) -> Vec<crate::finding::Finding> {
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            // run_paper evaluates on real data once for ground truth and
+            // `max(bootstraps × seeds, 10)` times for the control row, all
+            // before the grid; with seeds = bootstraps = 1 that is 11 calls.
+            // Call 12 is the first grid cell.
+            const PRE_GRID_CALLS: usize = 11;
+            let calls = AtomicUsize::new(0);
+            vec![crate::finding::Finding::new(
+                1,
+                "panics inside the grid",
+                FindingType::DescriptiveStatistics,
+                crate::finding::Check::Tolerance { alpha: 0.5 },
+                Box::new(move |ds| {
+                    if calls.fetch_add(1, Ordering::Relaxed) >= PRE_GRID_CALLS {
+                        panic!("boom in cell");
+                    }
+                    Ok(vec![ds.mean_of(0).unwrap_or(0.0)])
+                }),
+            )]
+        }
+    }
+
+    #[test]
+    fn grid_panic_is_an_error_not_an_abort() {
+        // A panic in one cell must come back as Err so a multi-paper sweep
+        // (fig3/fig4 print-and-continue) survives — on both grid paths.
+        for threads in [1usize, 4] {
+            let config = BenchmarkConfig {
+                epsilons: vec![1.0],
+                seeds: 1,
+                bootstraps: 1,
+                data_scale: 0.01,
+                min_rows: 400,
+                data_seed: 5,
+                threads,
+                fit_timeout: None,
+                restrict_privmrf: true,
+                synthesizers: vec![SynthKind::Mst],
+            };
+            let err =
+                run_paper(&PanickyPaper, &config).expect_err("cell panic must surface as an error");
+            assert!(
+                err.to_string().contains("panicked"),
+                "unexpected error ({threads} threads): {err}"
+            );
+        }
     }
 }

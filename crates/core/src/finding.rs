@@ -155,14 +155,12 @@ impl Finding {
             return false;
         }
         match self.check {
-            Check::Tolerance { alpha } => real
-                .iter()
-                .zip(synth)
-                .all(|(r, s)| (r - s).abs() <= alpha),
-            Check::Sign => real
-                .iter()
-                .zip(synth)
-                .all(|(r, s)| (r.signum() - s.signum()).abs() < f64::EPSILON || (*r == 0.0 && *s == 0.0)),
+            Check::Tolerance { alpha } => {
+                real.iter().zip(synth).all(|(r, s)| (r - s).abs() <= alpha)
+            }
+            Check::Sign => real.iter().zip(synth).all(|(r, s)| {
+                (r.signum() - s.signum()).abs() < f64::EPSILON || (*r == 0.0 && *s == 0.0)
+            }),
             Check::Order => ranking(real) == ranking(synth),
         }
     }

@@ -38,7 +38,9 @@ pub mod publication;
 pub mod report;
 pub mod visual;
 
-pub use benchmark::{paper_epsilons, run_paper, BenchmarkConfig, CellOutcome, CellStatus, PaperReport};
+pub use benchmark::{
+    paper_epsilons, run_paper, BenchmarkConfig, CellOutcome, CellStatus, PaperReport,
+};
 pub use error::{Result, SynrdError};
 pub use finding::{Check, Finding, FindingType};
 pub use parity::{aggregate, never_reproduced, paper_summary, AggregateSeries};

@@ -86,7 +86,8 @@ impl Publication for Assari2019 {
                     if black.n_rows() < 50 {
                         return Ok(vec![f64::NAN]);
                     }
-                    let fit = logistic_named(&black, "cerebro_death", &["obesity", "age", "smoking"])?;
+                    let fit =
+                        logistic_named(&black, "cerebro_death", &["obesity", "age", "smoking"])?;
                     Ok(vec![fit.coefficients[1]])
                 }),
             ),
@@ -188,7 +189,13 @@ impl Publication for Assari2019 {
                 "chronic conditions track worse self-rated health",
                 FT::CorrelationPearson,
                 Check::Sign,
-                Box::new(|ds| Ok(vec![pearson_named(ds, "chronic_conditions", "self_rated_health")?])),
+                Box::new(|ds| {
+                    Ok(vec![pearson_named(
+                        ds,
+                        "chronic_conditions",
+                        "self_rated_health",
+                    )?])
+                }),
             ),
             Finding::new(
                 16,

@@ -119,27 +119,21 @@ impl Publication for Fairman2019 {
                 "marijuana-first increases monotonically across year quarters",
                 FT::MeanDifferenceTemporal,
                 Check::Order,
-                Box::new(|ds| {
-                    (0..4).map(|q| first_rate_in_quarter(ds, MJ, q)).collect()
-                }),
+                Box::new(|ds| (0..4).map(|q| first_rate_in_quarter(ds, MJ, q)).collect()),
             ),
             Finding::new(
                 28,
                 "cigarette-first decreases monotonically across year quarters",
                 FT::MeanDifferenceTemporal,
                 Check::Order,
-                Box::new(|ds| {
-                    (0..4).map(|q| first_rate_in_quarter(ds, CIG, q)).collect()
-                }),
+                Box::new(|ds| (0..4).map(|q| first_rate_in_quarter(ds, CIG, q)).collect()),
             ),
             Finding::new(
                 29,
                 "alcohol-first stays stable across year quarters",
                 FT::MeanDifferenceTemporal,
                 Check::Tolerance { alpha: 0.025 },
-                Box::new(|ds| {
-                    (0..4).map(|q| first_rate_in_quarter(ds, ALC, q)).collect()
-                }),
+                Box::new(|ds| (0..4).map(|q| first_rate_in_quarter(ds, ALC, q)).collect()),
             ),
             Finding::new(
                 30,
@@ -237,7 +231,9 @@ impl Publication for Fairman2019 {
                 FT::MeanDifferenceTemporal,
                 Check::Tolerance { alpha: 0.006 },
                 Box::new(|ds| {
-                    (0..4).map(|q| first_rate_in_quarter(ds, OTHER, q)).collect()
+                    (0..4)
+                        .map(|q| first_rate_in_quarter(ds, OTHER, q))
+                        .collect()
                 }),
             ),
             Finding::new(

@@ -38,11 +38,7 @@ impl Publication for Fruiht2018 {
                 FT::RegressionBetweenCoefficients,
                 Check::Order,
                 Box::new(|ds| {
-                    let fit = ols_named(
-                        ds,
-                        "edu_attain",
-                        &["parent_college", "mentor", "income"],
-                    )?;
+                    let fit = ols_named(ds, "edu_attain", &["parent_college", "mentor", "income"])?;
                     Ok(vec![fit.coefficients[1], fit.coefficients[2]])
                 }),
             ),

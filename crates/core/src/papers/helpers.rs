@@ -28,11 +28,7 @@ pub(crate) fn prop(ds: &Dataset, name: &str, code: u32) -> Result<f64> {
 
 /// Mean of the numeric column `value` among rows where every `(attr, code)`
 /// condition holds; NaN for empty groups.
-pub(crate) fn mean_where(
-    ds: &Dataset,
-    conditions: &[(&str, u32)],
-    value: &str,
-) -> Result<f64> {
+pub(crate) fn mean_where(ds: &Dataset, conditions: &[(&str, u32)], value: &str) -> Result<f64> {
     let cond_idx: Vec<(usize, u32)> = conditions
         .iter()
         .map(|(n, c)| Ok((ds.domain().index_of(n)?, *c)))

@@ -75,7 +75,13 @@ impl Publication for Iverson2021 {
                 "adolescent depression raises adult suicidality odds",
                 FT::FixedCoefficientSign,
                 Check::Sign,
-                Box::new(|ds| Ok(vec![log_odds_ratio(ds, "dep_adolescent", "suicidality_adult")?])),
+                Box::new(|ds| {
+                    Ok(vec![log_odds_ratio(
+                        ds,
+                        "dep_adolescent",
+                        "suicidality_adult",
+                    )?])
+                }),
             ),
             Finding::new(
                 43,

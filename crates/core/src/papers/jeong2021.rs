@@ -15,7 +15,9 @@ use crate::publication::Publication;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use synrd_data::{BenchmarkDataset, Dataset};
-use synrd_ml::{group_metrics, train_test_split, ForestOptions, Metrics, RandomForest, TreeOptions};
+use synrd_ml::{
+    group_metrics, train_test_split, ForestOptions, Metrics, RandomForest, TreeOptions,
+};
 use synrd_stats::logistic_columns;
 
 /// Which model family a finding evaluates.
@@ -50,12 +52,16 @@ fn prepare(ds: &Dataset) -> Result<SupervisedData> {
     Ok((features, y, groups))
 }
 
+/// One memoized pipeline run: dataset fingerprint, model family, and the
+/// (privileged, disadvantaged) group metrics it produced.
+type MemoEntry = (u64, Model, (Metrics, Metrics));
+
 thread_local! {
     /// Memo of the last pipeline run per thread: the benchmark evaluates all
     /// eight findings on the same dataset in sequence, and four findings
     /// share each model family — this avoids retraining 4× per draw.
     /// Keyed by a content fingerprint so address reuse cannot alias.
-    static PIPELINE_MEMO: std::cell::RefCell<Vec<(u64, Model, (Metrics, Metrics))>> =
+    static PIPELINE_MEMO: std::cell::RefCell<Vec<MemoEntry>> =
         const { std::cell::RefCell::new(Vec::new()) };
 }
 

@@ -45,14 +45,56 @@ impl Publication for Lee2021 {
             "ses",
         ];
         vec![
-            corr_finding(64, "math scores strongly correlated across grades", "math9", "math11", 0.7),
-            corr_finding(65, "ability self-concept tracks 11th-grade math", "ability_self_concept", "math11", 0.0),
-            corr_finding(66, "teacher support positively related to math", "teacher_support", "math11", 0.0),
-            corr_finding(67, "parental support positively related to math", "parent_support", "math11", 0.0),
+            corr_finding(
+                64,
+                "math scores strongly correlated across grades",
+                "math9",
+                "math11",
+                0.7,
+            ),
+            corr_finding(
+                65,
+                "ability self-concept tracks 11th-grade math",
+                "ability_self_concept",
+                "math11",
+                0.0,
+            ),
+            corr_finding(
+                66,
+                "teacher support positively related to math",
+                "teacher_support",
+                "math11",
+                0.0,
+            ),
+            corr_finding(
+                67,
+                "parental support positively related to math",
+                "parent_support",
+                "math11",
+                0.0,
+            ),
             corr_finding(68, "SES positively related to math", "ses", "math11", 0.0),
-            corr_finding(69, "SES tracks parental support", "ses", "parent_support", 0.0),
-            corr_finding(70, "prior achievement moderately predicts math", "prior_achievement", "math11", 0.5),
-            corr_finding(71, "English and math achievement co-vary", "english9", "math9", 0.0),
+            corr_finding(
+                69,
+                "SES tracks parental support",
+                "ses",
+                "parent_support",
+                0.0,
+            ),
+            corr_finding(
+                70,
+                "prior achievement moderately predicts math",
+                "prior_achievement",
+                "math11",
+                0.5,
+            ),
+            corr_finding(
+                71,
+                "English and math achievement co-vary",
+                "english9",
+                "math9",
+                0.0,
+            ),
             Finding::new(
                 72,
                 "ability self-concept outweighs teacher support",
@@ -94,11 +136,8 @@ impl Publication for Lee2021 {
                     let ability = col(ds, "ability_self_concept")?;
                     let teacher = col(ds, "teacher_support")?;
                     let parent = col(ds, "parent_support")?;
-                    let interaction: Vec<f64> = ability
-                        .iter()
-                        .zip(&teacher)
-                        .map(|(a, t)| a * t)
-                        .collect();
+                    let interaction: Vec<f64> =
+                        ability.iter().zip(&teacher).map(|(a, t)| a * t).collect();
                     let fit = synrd_stats::ols_columns(
                         &[math9, ability, teacher, parent, interaction],
                         &y,

@@ -17,7 +17,14 @@ fn positive_model(ds: &Dataset) -> Result<LinearFit> {
     ols_named(
         ds,
         "pos_emotions",
-        &["spouse_support", "child_support", "friend_support", "income", "education", "age"],
+        &[
+            "spouse_support",
+            "child_support",
+            "friend_support",
+            "income",
+            "education",
+            "age",
+        ],
     )
 }
 
@@ -26,7 +33,14 @@ fn negative_model(ds: &Dataset) -> Result<LinearFit> {
     ols_named(
         ds,
         "neg_emotions",
-        &["spouse_strain", "child_strain", "friend_strain", "income", "education", "age"],
+        &[
+            "spouse_strain",
+            "child_strain",
+            "friend_strain",
+            "income",
+            "education",
+            "age",
+        ],
     )
 }
 

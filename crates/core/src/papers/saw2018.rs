@@ -13,7 +13,12 @@ use synrd_data::{BenchmarkDataset, Dataset};
 
 /// P(stem_asp_11 = 1 | stem_asp_9 = given, ses = ses_code).
 fn transition_rate(ds: &Dataset, asp9: u32, ses_code: u32) -> Result<f64> {
-    prop_where(ds, &[("stem_asp_9", asp9), ("ses", ses_code)], "stem_asp_11", 1)
+    prop_where(
+        ds,
+        &[("stem_asp_9", asp9), ("ses", ses_code)],
+        "stem_asp_11",
+        1,
+    )
 }
 
 /// The Saw et al. 2018 publication.
@@ -80,7 +85,10 @@ impl Publication for Saw2018 {
                 FT::MeanDifferenceTemporal,
                 Check::Order,
                 Box::new(|ds| {
-                    Ok(vec![prop(ds, "stem_asp_9", 1)?, prop(ds, "stem_asp_11", 1)?])
+                    Ok(vec![
+                        prop(ds, "stem_asp_9", 1)?,
+                        prop(ds, "stem_asp_11", 1)?,
+                    ])
                 }),
             ),
             Finding::new(
@@ -116,9 +124,7 @@ impl Publication for Saw2018 {
                 "emergence rises with SES",
                 FT::MeanDifferenceTemporal,
                 Check::Order,
-                Box::new(|ds| {
-                    Ok(vec![transition_rate(ds, 0, 3)?, transition_rate(ds, 0, 0)?])
-                }),
+                Box::new(|ds| Ok(vec![transition_rate(ds, 0, 3)?, transition_rate(ds, 0, 0)?])),
             ),
             Finding::new(
                 98,
@@ -172,8 +178,9 @@ impl Publication for Saw2018 {
                     let race = ds.domain().index_of("race")?;
                     let ses = ds.domain().index_of("ses")?;
                     let sex = ds.domain().index_of("sex")?;
-                    let privileged =
-                        ds.filter_rows(move |r| r.get(sex) == 0 && r.get(race) == 0 && r.get(ses) == 3);
+                    let privileged = ds.filter_rows(move |r| {
+                        r.get(sex) == 0 && r.get(race) == 0 && r.get(ses) == 3
+                    });
                     let marginalized = ds.filter_rows(move |r| {
                         r.get(sex) == 0 && (r.get(race) == 1 || r.get(race) == 2) && r.get(ses) <= 1
                     });

@@ -84,7 +84,14 @@ pub fn paper_summary(report: &PaperReport) -> Vec<(SynthKind, f64)> {
                     }
                 }
             }
-            (kind, if count > 0 { sum / count as f64 } else { f64::NAN })
+            (
+                kind,
+                if count > 0 {
+                    sum / count as f64
+                } else {
+                    f64::NAN
+                },
+            )
         })
         .collect()
 }

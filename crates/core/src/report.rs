@@ -33,7 +33,10 @@ pub fn render_fig3_block(report: &PaperReport) -> String {
         report.findings.first().map(|f| f.0).unwrap_or(0),
         report.findings.last().map(|f| f.0).unwrap_or(0),
     );
-    let _ = writeln!(out, "legend: ' '=parity 1.0 … '@'=parity 0.0, '/'=could not fit, 's'=skipped");
+    let _ = writeln!(
+        out,
+        "legend: ' '=parity 1.0 … '@'=parity 0.0, '/'=could not fit, 's'=skipped"
+    );
     for (s_idx, kind) in report.synthesizers.iter().enumerate() {
         for (e_idx, eps) in report.epsilons.iter().enumerate() {
             let cell = &report.cells[s_idx][e_idx];
@@ -55,8 +58,7 @@ pub fn render_fig3_block(report: &PaperReport) -> String {
         }
     }
     let control_row: String = report.control.iter().map(|&p| shade(p)).collect();
-    let control_mean =
-        report.control.iter().sum::<f64>() / report.control.len().max(1) as f64;
+    let control_mean = report.control.iter().sum::<f64>() / report.control.len().max(1) as f64;
     let _ = writeln!(
         out,
         "{:>10} {:<12} |{}| mean={:.3}",
@@ -68,7 +70,10 @@ pub fn render_fig3_block(report: &PaperReport) -> String {
 /// Render the Figure 4 series as two aligned text tables.
 pub fn render_fig4(agg: &AggregateSeries) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "=== Figure 4 (left): mean epistemic parity vs epsilon ===");
+    let _ = writeln!(
+        out,
+        "=== Figure 4 (left): mean epistemic parity vs epsilon ==="
+    );
     let _ = write!(out, "{:>10} |", "synth");
     for eps in &agg.epsilons {
         let _ = write!(out, " {:>8.3}", eps);
@@ -81,7 +86,10 @@ pub fn render_fig4(agg: &AggregateSeries) -> String {
         }
         let _ = writeln!(out);
     }
-    let _ = writeln!(out, "=== Figure 4 (right): mean parity variance vs epsilon ===");
+    let _ = writeln!(
+        out,
+        "=== Figure 4 (right): mean parity variance vs epsilon ==="
+    );
     for (kind, series) in &agg.variance {
         let _ = write!(out, "{:>10} |", kind.name());
         for v in series {

@@ -89,7 +89,11 @@ impl VisualFinding {
         for (g, row) in table.iter().enumerate() {
             out.push_str(&format!("  {}\n", g_attr.label(g as u32).unwrap_or("?")));
             for (v, &p) in row.iter().enumerate() {
-                let bar_len = if p.is_finite() { (p * 50.0).round() as usize } else { 0 };
+                let bar_len = if p.is_finite() {
+                    (p * 50.0).round() as usize
+                } else {
+                    0
+                };
                 out.push_str(&format!(
                     "    {:<12} {:>6.2}% |{}\n",
                     v_attr.label(v as u32).unwrap_or("?"),

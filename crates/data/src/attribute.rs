@@ -117,7 +117,10 @@ impl Attribute {
 
     /// Code for a label, if present.
     pub fn code_of(&self, label: &str) -> Option<u32> {
-        self.categories.iter().position(|c| c == label).map(|i| i as u32)
+        self.categories
+            .iter()
+            .position(|c| c == label)
+            .map(|i| i as u32)
     }
 
     /// Whether this attribute participates in numeric statistics

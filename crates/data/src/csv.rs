@@ -79,8 +79,10 @@ pub fn read_csv<R: BufRead>(domain: &Domain, input: R) -> Result<Dataset> {
         if domain.attribute(i)?.name() != *name {
             return Err(DataError::Csv {
                 line: 1,
-                message: format!("header column {i} is `{name}`, domain expects `{}`",
-                    domain.attribute(i)?.name()),
+                message: format!(
+                    "header column {i} is `{name}`, domain expects `{}`",
+                    domain.attribute(i)?.name()
+                ),
             });
         }
     }

@@ -36,7 +36,10 @@ impl fmt::Display for DataError {
         match self {
             DataError::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
             DataError::AttributeIndexOutOfBounds { index, len } => {
-                write!(f, "attribute index {index} out of bounds for domain of {len}")
+                write!(
+                    f,
+                    "attribute index {index} out of bounds for domain of {len}"
+                )
             }
             DataError::CodeOutOfRange {
                 attribute,
@@ -51,7 +54,10 @@ impl fmt::Display for DataError {
             }
             DataError::RaggedColumns => write!(f, "dataset columns have inconsistent lengths"),
             DataError::MarginalTooLarge { cells, limit } => {
-                write!(f, "marginal would have {cells} cells, over the limit of {limit}")
+                write!(
+                    f,
+                    "marginal would have {cells} cells, over the limit of {limit}"
+                )
             }
             DataError::EmptyAttributeSet => write!(f, "attribute set must be non-empty"),
             DataError::DuplicateAttribute(idx) => {
@@ -60,7 +66,9 @@ impl fmt::Display for DataError {
             DataError::NotNumeric(name) => {
                 write!(f, "attribute `{name}` has no numeric interpretation")
             }
-            DataError::Csv { line, message } => write!(f, "csv parse error on line {line}: {message}"),
+            DataError::Csv { line, message } => {
+                write!(f, "csv parse error on line {line}: {message}")
+            }
         }
     }
 }

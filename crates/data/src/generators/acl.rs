@@ -50,8 +50,7 @@ pub fn assari2019(n: usize, seed: u64) -> Dataset {
         let sex = bernoulli(&mut rng, 0.62); // ACL skews female
         let age_z = normal(&mut rng) * 0.9;
         let age = bin_z(age_z, 17, 2.5);
-        let edu_years = (ASSARI_EDU_MEAN + 3.1 * normal(&mut rng)
-            - 0.55 * race as f64)
+        let edu_years = (ASSARI_EDU_MEAN + 3.1 * normal(&mut rng) - 0.55 * race as f64)
             .round()
             .clamp(0.0, 20.0);
         let education = edu_years as u32;
@@ -88,8 +87,7 @@ pub fn assari2019(n: usize, seed: u64) -> Dataset {
         // death path so the *pooled* association stays null (|corr| < 0.04),
         // as the paper reports.
         let obesity_effect = if race == 1 { 0.55 } else { -0.34 };
-        let death_logit = -3.85 + 1.05 * age_z + 0.30 * smoking as f64
-            + 0.35 * hypertension as f64
+        let death_logit = -3.85 + 1.05 * age_z + 0.30 * smoking as f64 + 0.35 * hypertension as f64
             - 0.22 * edu_z
             + obesity_effect * obesity as f64;
         let cerebro_death = bernoulli(&mut rng, sigmoid(death_logit));
@@ -163,7 +161,10 @@ pub fn pierce2019(n: usize, seed: u64) -> Dataset {
         let friend_sup = 0.35 * sociability + 0.9 * normal(&mut rng);
         let friend_str = 0.95 * normal(&mut rng);
 
-        let pos = 0.62 * spouse_sup + 0.22 * friend_sup + 0.12 * child_sup + 0.1 * ses
+        let pos = 0.62 * spouse_sup
+            + 0.22 * friend_sup
+            + 0.12 * child_sup
+            + 0.1 * ses
             + 0.72 * normal(&mut rng);
         let neg = 0.58 * spouse_str + 0.38 * child_str + 0.03 * friend_str - 0.1 * ses
             + 0.75 * normal(&mut rng);
@@ -215,7 +216,11 @@ mod tests {
         let black = ds.filter_rows(|r| r.get(0) == 1);
         let white = ds.filter_rows(|r| r.get(0) == 0);
         assert!(corr(&black) > 0.03, "black corr = {:.4}", corr(&black));
-        assert!(corr(&white).abs() < 0.025, "white corr = {:.4}", corr(&white));
+        assert!(
+            corr(&white).abs() < 0.025,
+            "white corr = {:.4}",
+            corr(&white)
+        );
         assert!(corr(&ds).abs() < 0.035, "pooled corr = {:.4}", corr(&ds));
     }
 
@@ -235,7 +240,10 @@ mod tests {
         let r_pos_fsup = pearson(&pos, &ds.numeric_column(6).unwrap());
         let r_neg_sstr = pearson(&neg, &ds.numeric_column(3).unwrap());
         let r_neg_fstr = pearson(&neg, &ds.numeric_column(7).unwrap());
-        assert!(r_pos_ssup > r_pos_fsup + 0.1, "{r_pos_ssup:.3} vs {r_pos_fsup:.3}");
+        assert!(
+            r_pos_ssup > r_pos_fsup + 0.1,
+            "{r_pos_ssup:.3} vs {r_pos_fsup:.3}"
+        );
         assert!(r_neg_sstr > 0.3, "{r_neg_sstr:.3}");
         assert!(r_neg_fstr.abs() < 0.06, "{r_neg_fstr:.3}");
     }

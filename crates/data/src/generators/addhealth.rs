@@ -63,8 +63,16 @@ pub fn fruiht2018(n: usize, seed: u64) -> Dataset {
         } else {
             1 + categorical(&mut rng, &[0.33, 0.27, 0.12, 0.18, 0.10])
         };
-        let support_emotional = if mentor == 1 { bernoulli(&mut rng, 0.72) } else { 0 };
-        let support_instrumental = if mentor == 1 { bernoulli(&mut rng, 0.46) } else { 0 };
+        let support_emotional = if mentor == 1 {
+            bernoulli(&mut rng, 0.72)
+        } else {
+            0
+        };
+        let support_instrumental = if mentor == 1 {
+            bernoulli(&mut rng, 0.46)
+        } else {
+            0
+        };
         let age = categorical(&mut rng, &[0.22, 0.30, 0.30, 0.18]);
         let income = categorical(
             &mut rng,
@@ -177,8 +185,10 @@ pub fn iverson2021(n: usize, seed: u64) -> Dataset {
         let dep_adult = bernoulli(&mut rng, sigmoid(dep_adult_logit));
         let suic_logit = -3.38 + 1.00 * dep_adolescent as f64 + 0.55 * dep_adult as f64;
         let suicidality = bernoulli(&mut rng, sigmoid(suic_logit));
-        let counseling =
-            bernoulli(&mut rng, sigmoid(-1.62 + 1.30 * dep_adult as f64 + 0.4 * suicidality as f64));
+        let counseling = bernoulli(
+            &mut rng,
+            sigmoid(-1.62 + 1.30 * dep_adult as f64 + 0.4 * suicidality as f64),
+        );
         let anxiety = bernoulli(&mut rng, sigmoid(-2.44 + 0.85 * dep_adult as f64));
         let psych_hosp = bernoulli(&mut rng, sigmoid(-3.95 + 1.0 * suicidality as f64));
 

@@ -37,7 +37,14 @@ pub fn saw2018(n: usize, seed: u64) -> Dataset {
         Attribute::categorical_from("sex", &["male", "female"]),
         Attribute::categorical_from(
             "race",
-            &["white", "black", "hispanic", "asian", "native", "multiracial"],
+            &[
+                "white",
+                "black",
+                "hispanic",
+                "asian",
+                "native",
+                "multiracial",
+            ],
         ),
         Attribute::ordinal("ses", 4),
         Attribute::ordinal("parent_edu", 4),
@@ -69,8 +76,8 @@ pub fn saw2018(n: usize, seed: u64) -> Dataset {
             (ses as f64 + jitter).round().clamp(0.0, 3.0) as u32
         };
         let ses_z = (ses as f64 - 1.5) / 1.5;
-        let math_latent = 0.55 * ses_z + 0.30 * ((parent_edu as f64 - 1.5) / 1.5)
-            + 0.8 * normal(&mut rng);
+        let math_latent =
+            0.55 * ses_z + 0.30 * ((parent_edu as f64 - 1.5) / 1.5) + 0.8 * normal(&mut rng);
         let math9 = bin_z(math_latent, 14, 2.8);
         let math_z = (math9 as f64 - 6.5) / 6.5;
 
@@ -93,8 +100,10 @@ pub fn saw2018(n: usize, seed: u64) -> Dataset {
 
         let persister = u32::from(asp9 == 1 && asp11 == 1);
         let emerger = u32::from(asp9 == 0 && asp11 == 1);
-        ds.push_row(&[sex, race, ses, parent_edu, math9, asp9, asp11, persister, emerger])
-            .expect("codes generated in range");
+        ds.push_row(&[
+            sex, race, ses, parent_edu, math9, asp9, asp11, persister, emerger,
+        ])
+        .expect("codes generated in range");
     }
     ds
 }
@@ -134,8 +143,7 @@ pub fn lee2021(n: usize, seed: u64) -> Dataset {
         let parent = 0.20 * theta + 0.45 * ses + 0.85 * normal(&mut rng);
         let belong = 0.30 * parent + 0.20 * teacher + 0.90 * normal(&mut rng);
         let english = 0.65 * theta + 0.25 * ses + 0.70 * normal(&mut rng);
-        let math11 = 0.45 * theta + 0.38 * math9 + 0.25 * ability + 0.18 * parent
-            + 0.12 * teacher
+        let math11 = 0.45 * theta + 0.38 * math9 + 0.25 * ability + 0.18 * parent + 0.12 * teacher
             - 0.08 * (ability * teacher)
             + 0.40 * normal(&mut rng);
 

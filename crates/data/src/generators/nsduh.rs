@@ -22,8 +22,15 @@ pub const FIRST_MARIJUANA: u32 = 3;
 pub const FIRST_OTHER: u32 = 4;
 
 /// Race codes (matching attribute label order).
-pub const RACE_LABELS: [&str; 7] =
-    ["white", "black", "hispanic", "asian", "aian", "nhpi", "multiracial"];
+pub const RACE_LABELS: [&str; 7] = [
+    "white",
+    "black",
+    "hispanic",
+    "asian",
+    "aian",
+    "nhpi",
+    "multiracial",
+];
 
 /// Additive logit adjustments for initiating marijuana first, by race —
 /// the demographic disparity behind the paper's Figure 1 and its
@@ -59,12 +66,13 @@ pub fn fairman2019(n: usize, seed: u64) -> Dataset {
     for _ in 0..n {
         let race = categorical(&mut rng, &[0.575, 0.14, 0.18, 0.05, 0.012, 0.006, 0.037]);
         let sex = bernoulli(&mut rng, 0.51); // 1 = female
+
         // Triangular-ish age distribution over 12..=29.
         let age = categorical(
             &mut rng,
             &[
-                3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 8.0, 8.0, 7.5, 7.0, 6.5, 6.0, 5.5, 5.0, 4.5,
-                4.0, 3.5, 3.0,
+                3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 8.0, 8.0, 7.5, 7.0, 6.5, 6.0, 5.5, 5.0, 4.5, 4.0,
+                3.5, 3.0,
             ],
         );
         // Slight growth in sample size over years.
@@ -79,12 +87,15 @@ pub fn fairman2019(n: usize, seed: u64) -> Dataset {
         let male = 1.0 - sex as f64;
 
         // Multinomial logit over first substance, baseline = "none".
-        let mj_logit = -2.05 + 0.35 * male + 0.45 * age_z + 0.45 * year_z
-            + MJ_FIRST_RACE_LOGIT[race as usize];
+        let mj_logit =
+            -2.05 + 0.35 * male + 0.45 * age_z + 0.45 * year_z + MJ_FIRST_RACE_LOGIT[race as usize];
         let cig_logit = -0.62 + 0.10 * male + 0.30 * age_z - 0.60 * year_z;
         let alc_logit = 0.12 + 0.05 * male + 0.50 * age_z;
         let other_logit = -3.6 + 0.15 * male;
-        let first = softmax_choice(&mut rng, &[0.0, alc_logit, cig_logit, mj_logit, other_logit]);
+        let first = softmax_choice(
+            &mut rng,
+            &[0.0, alc_logit, cig_logit, mj_logit, other_logit],
+        );
 
         // Outcome severity: marijuana-first carries the largest bump.
         let sev_shift = match first {
@@ -153,6 +164,11 @@ mod tests {
             let total: f64 = counts.iter().sum();
             counts[5..].iter().sum::<f64>() / total
         };
-        assert!(heavy(&mj) > 1.5 * heavy(&alc), "{} vs {}", heavy(&mj), heavy(&alc));
+        assert!(
+            heavy(&mj) > 1.5 * heavy(&alc),
+            "{} vs {}",
+            heavy(&mj),
+            heavy(&alc)
+        );
     }
 }

@@ -20,10 +20,7 @@ use rand::SeedableRng;
 pub fn adult(n: usize, seed: u64) -> Dataset {
     let domain = Domain::new(vec![
         Attribute::binned("age", 17.0, 90.0, 40),
-        Attribute::categorical(
-            "workclass",
-            (0..9).map(|i| format!("wc{i}")).collect(),
-        ),
+        Attribute::categorical("workclass", (0..9).map(|i| format!("wc{i}")).collect()),
         Attribute::ordinal("fnlwgt", 10),
         Attribute::categorical("education", (0..16).map(|i| format!("ed{i}")).collect()),
         Attribute::ordinal("education_num", 16),
@@ -36,11 +33,27 @@ pub fn adult(n: usize, seed: u64) -> Dataset {
         // midpoint so their numeric skew matches the real Adult's shape.
         Attribute::ordinal_scored(
             "capital_gain",
-            (0..40).map(|i| if i == 0 { 0.0 } else { 250.0 * (i as f64).powi(2) }).collect(),
+            (0..40)
+                .map(|i| {
+                    if i == 0 {
+                        0.0
+                    } else {
+                        250.0 * (i as f64).powi(2)
+                    }
+                })
+                .collect(),
         ),
         Attribute::ordinal_scored(
             "capital_loss",
-            (0..30).map(|i| if i == 0 { 0.0 } else { 120.0 * (i as f64).powi(2) }).collect(),
+            (0..30)
+                .map(|i| {
+                    if i == 0 {
+                        0.0
+                    } else {
+                        120.0 * (i as f64).powi(2)
+                    }
+                })
+                .collect(),
         ),
         Attribute::binned("hours_per_week", 1.0, 99.0, 25),
         Attribute::categorical("country", (0..20).map(|i| format!("c{i}")).collect()),
@@ -68,14 +81,19 @@ pub fn adult(n: usize, seed: u64) -> Dataset {
             0
         };
         let hours = bin_z(0.3 * edu_z + normal(&mut rng) * 0.8, 25, 2.8);
-        let income_logit = -1.9 + 0.8 * edu_z + 0.5 * age_z
+        let income_logit = -1.9
+            + 0.8 * edu_z
+            + 0.5 * age_z
             + 1.6 * f64::from(cap_gain > 0)
             + 0.25 * (hours as f64 - 12.0) / 12.0;
         let income = bernoulli(&mut rng, sigmoid(income_logit));
 
         ds.push_row(&[
             bin_z(age_z, 40, 2.8),
-            categorical(&mut rng, &[0.70, 0.08, 0.06, 0.05, 0.04, 0.03, 0.02, 0.01, 0.01]),
+            categorical(
+                &mut rng,
+                &[0.70, 0.08, 0.06, 0.05, 0.04, 0.03, 0.02, 0.01, 0.01],
+            ),
             categorical(&mut rng, &[1.0; 10]),
             edu_num, // education label mirrors education_num
             edu_num,
@@ -90,8 +108,8 @@ pub fn adult(n: usize, seed: u64) -> Dataset {
             categorical(
                 &mut rng,
                 &[
-                    0.90, 0.02, 0.01, 0.01, 0.01, 0.008, 0.007, 0.006, 0.005, 0.005, 0.004,
-                    0.004, 0.003, 0.003, 0.002, 0.002, 0.002, 0.002, 0.001, 0.001,
+                    0.90, 0.02, 0.01, 0.01, 0.01, 0.008, 0.007, 0.006, 0.005, 0.005, 0.004, 0.004,
+                    0.003, 0.003, 0.002, 0.002, 0.002, 0.002, 0.001, 0.001,
                 ],
             ),
             income,
@@ -138,7 +156,10 @@ pub fn mushroom(n: usize, seed: u64) -> Dataset {
     let mut ds = Dataset::with_capacity(domain, n);
 
     for _ in 0..n {
-        let odor = categorical(&mut rng, &[0.42, 0.05, 0.05, 0.26, 0.05, 0.05, 0.05, 0.04, 0.03]);
+        let odor = categorical(
+            &mut rng,
+            &[0.42, 0.05, 0.05, 0.26, 0.05, 0.05, 0.05, 0.04, 0.03],
+        );
         // Odor 0 ("none") and 3 ("anise-like") are mostly edible.
         let p_edible = match odor {
             0 => 0.85,
@@ -163,19 +184,31 @@ pub fn mushroom(n: usize, seed: u64) -> Dataset {
             edible,
             categorical(&mut rng, &[0.35, 0.3, 0.15, 0.1, 0.06, 0.04]),
             categorical(&mut rng, &[0.4, 0.3, 0.2, 0.1]),
-            categorical(&mut rng, &[0.25, 0.2, 0.15, 0.1, 0.1, 0.07, 0.06, 0.04, 0.03]),
+            categorical(
+                &mut rng,
+                &[0.25, 0.2, 0.15, 0.1, 0.1, 0.07, 0.06, 0.04, 0.03],
+            ),
             bruises,
             odor,
             bernoulli(&mut rng, 0.97),
             categorical(&mut rng, &[0.7, 0.2, 0.1]),
             gill_size,
-            categorical(&mut rng, &[0.2, 0.18, 0.15, 0.12, 0.1, 0.09, 0.07, 0.05, 0.04]),
+            categorical(
+                &mut rng,
+                &[0.2, 0.18, 0.15, 0.12, 0.1, 0.09, 0.07, 0.05, 0.04],
+            ),
             bernoulli(&mut rng, 0.43),
             categorical(&mut rng, &[0.45, 0.25, 0.13, 0.1, 0.05, 0.02]),
             categorical(&mut rng, &[0.55, 0.25, 0.12, 0.08]),
             categorical(&mut rng, &[0.55, 0.25, 0.12, 0.08]),
-            categorical(&mut rng, &[0.25, 0.2, 0.15, 0.12, 0.1, 0.08, 0.05, 0.03, 0.02]),
-            categorical(&mut rng, &[0.25, 0.2, 0.15, 0.12, 0.1, 0.08, 0.05, 0.03, 0.02]),
+            categorical(
+                &mut rng,
+                &[0.25, 0.2, 0.15, 0.12, 0.1, 0.08, 0.05, 0.03, 0.02],
+            ),
+            categorical(
+                &mut rng,
+                &[0.25, 0.2, 0.15, 0.12, 0.1, 0.08, 0.05, 0.03, 0.02],
+            ),
             categorical(&mut rng, &[0.9, 0.05, 0.03, 0.02]),
             categorical(&mut rng, &[0.08, 0.85, 0.07]),
             categorical(&mut rng, &[0.3, 0.25, 0.2, 0.12, 0.08, 0.05]),

@@ -230,15 +230,8 @@ mod tests {
     use crate::domain::Domain;
 
     fn toy() -> Dataset {
-        let domain = Domain::new(vec![
-            Attribute::binary("x"),
-            Attribute::ordinal("y", 3),
-        ]);
-        Dataset::new(
-            domain,
-            vec![vec![0, 0, 1, 1, 1, 0], vec![0, 1, 2, 2, 1, 0]],
-        )
-        .unwrap()
+        let domain = Domain::new(vec![Attribute::binary("x"), Attribute::ordinal("y", 3)]);
+        Dataset::new(domain, vec![vec![0, 0, 1, 1, 1, 0], vec![0, 1, 2, 2, 1, 0]]).unwrap()
     }
 
     #[test]

@@ -211,10 +211,7 @@ mod tests {
 
     #[test]
     fn skewness_nan_without_ordinals() {
-        let ds = dataset(vec![(
-            Attribute::binary("b"),
-            vec![0, 1, 0, 1, 1, 0, 1, 0],
-        )]);
+        let ds = dataset(vec![(Attribute::binary("b"), vec![0, 1, 0, 1, 1, 0, 1, 0])]);
         let s = skewness_summary(&ds).unwrap();
         assert!(s.mean.is_nan());
     }

@@ -23,4 +23,4 @@ pub use mechanisms::{
     exponential_mechanism, gaussian_mechanism, geometric_mechanism, laplace_mechanism,
     report_noisy_max, standard_gumbel, standard_laplace, standard_normal,
 };
-pub use rng::{derive_seed, derive_seed_indexed, rng_for, rng_for_indexed};
+pub use rng::{derive_seed, derive_seed_indexed, grid_rng, grid_seed, rng_for, rng_for_indexed};

@@ -1,9 +1,7 @@
 //! Property-based tests for privacy accounting and mechanism invariants.
 
 use proptest::prelude::*;
-use synrd_dp::{
-    exponential_mechanism, gaussian_sigma, rng_for, Accountant, Privacy,
-};
+use synrd_dp::{exponential_mechanism, gaussian_sigma, rng_for, Accountant, Privacy};
 
 proptest! {
     /// zCDP → (ε,δ) → zCDP round-trips for any positive ρ and small δ.

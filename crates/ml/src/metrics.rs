@@ -52,7 +52,11 @@ pub fn metrics(scores: &[f64], truth: &[f64]) -> Result<Metrics> {
     Ok(Metrics {
         accuracy: (tp + tn) / n,
         fpr: if fp + tn > 0.0 { fp / (fp + tn) } else { 0.0 },
-        fnr: if fne + tp > 0.0 { fne / (fne + tp) } else { 0.0 },
+        fnr: if fne + tp > 0.0 {
+            fne / (fne + tp)
+        } else {
+            0.0
+        },
         pbr: (tp + fp) / n,
         n: scores.len(),
     })

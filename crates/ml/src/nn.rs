@@ -89,7 +89,11 @@ impl ForwardCache {
 
 impl Mlp {
     /// Build an MLP with the given layer sizes, e.g. `[8, 32, 32, 4]`.
-    pub fn new<R: Rng + ?Sized>(sizes: &[usize], output_activation: Activation, rng: &mut R) -> Mlp {
+    pub fn new<R: Rng + ?Sized>(
+        sizes: &[usize],
+        output_activation: Activation,
+        rng: &mut R,
+    ) -> Mlp {
         assert!(sizes.len() >= 2, "need at least input and output sizes");
         let layers = sizes
             .windows(2)
@@ -126,7 +130,9 @@ impl Mlp {
             let activated: Vec<f64> = if last {
                 match self.output_activation {
                     Activation::Linear => buffer.clone(),
-                    Activation::Sigmoid => buffer.iter().map(|v| 1.0 / (1.0 + (-v).exp())).collect(),
+                    Activation::Sigmoid => {
+                        buffer.iter().map(|v| 1.0 / (1.0 + (-v).exp())).collect()
+                    }
                     Activation::Tanh => buffer.iter().map(|v| v.tanh()).collect(),
                 }
             } else {

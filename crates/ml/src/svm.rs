@@ -60,7 +60,10 @@ impl LinearSvc {
                 }
             }
         }
-        Ok(LinearSvc { weights: w, bias: b })
+        Ok(LinearSvc {
+            weights: w,
+            bias: b,
+        })
     }
 
     /// Signed decision value.

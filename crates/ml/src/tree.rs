@@ -85,7 +85,11 @@ impl DecisionTree {
                     left,
                     right,
                 } => {
-                    node = if row[*feature] <= *threshold { left } else { right };
+                    node = if row[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -228,12 +232,6 @@ mod tests {
     fn validation_errors() {
         let mut rng = StdRng::seed_from_u64(4);
         assert!(DecisionTree::fit(&[], &[], TreeOptions::default(), &mut rng).is_err());
-        assert!(DecisionTree::fit(
-            &[vec![1.0]],
-            &[2.0],
-            TreeOptions::default(),
-            &mut rng
-        )
-        .is_err());
+        assert!(DecisionTree::fit(&[vec![1.0]], &[2.0], TreeOptions::default(), &mut rng).is_err());
     }
 }

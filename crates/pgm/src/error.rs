@@ -26,7 +26,9 @@ pub enum PgmError {
 impl fmt::Display for PgmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PgmError::UnsortedAttributes => write!(f, "factor attributes must be sorted and distinct"),
+            PgmError::UnsortedAttributes => {
+                write!(f, "factor attributes must be sorted and distinct")
+            }
             PgmError::ScopeMismatch => write!(f, "factor scope mismatch"),
             PgmError::ShapeMismatch { cells, values } => {
                 write!(f, "shape implies {cells} cells but {values} values given")

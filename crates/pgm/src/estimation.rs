@@ -178,7 +178,10 @@ pub fn estimate(
             if want_grad {
                 let shape: Vec<usize> = t.attrs.iter().map(|&a| domain_shape[a]).collect();
                 let gf = Factor::from_log_values(t.attrs.clone(), shape, g)?; // raw grads in the log slot
-                let expanded = gf.expand(tree.cliques()[t.clique].as_slice(), tree.clique_shape(t.clique))?;
+                let expanded = gf.expand(
+                    tree.cliques()[t.clique].as_slice(),
+                    tree.clique_shape(t.clique),
+                )?;
                 grads[t.clique] = Some(match grads[t.clique].take() {
                     None => expanded,
                     Some(mut acc) => {

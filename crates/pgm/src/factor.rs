@@ -36,7 +36,11 @@ impl Factor {
     }
 
     /// Build from explicit log values.
-    pub fn from_log_values(attrs: Vec<usize>, shape: Vec<usize>, log_values: Vec<f64>) -> Result<Factor> {
+    pub fn from_log_values(
+        attrs: Vec<usize>,
+        shape: Vec<usize>,
+        log_values: Vec<f64>,
+    ) -> Result<Factor> {
         if attrs.len() != shape.len() {
             return Err(PgmError::ScopeMismatch);
         }
@@ -103,7 +107,7 @@ impl Factor {
             self.log_values.iter_mut().for_each(|v| *v -= lse);
         } else {
             // Degenerate (all -inf): fall back to uniform.
-            let u = -( (self.n_cells() as f64).ln() );
+            let u = -((self.n_cells() as f64).ln());
             self.log_values.iter_mut().for_each(|v| *v = u);
         }
     }

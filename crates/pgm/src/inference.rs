@@ -24,11 +24,11 @@ impl CalibratedTree {
     /// # Errors
     /// [`PgmError::UncoveredMeasurement`] if no clique contains `attrs`.
     pub fn marginal(&self, tree: &JunctionTree, attrs: &[usize]) -> Result<Vec<f64>> {
-        let clique = tree
-            .containing_clique(attrs)
-            .ok_or_else(|| PgmError::UncoveredMeasurement {
-                attrs: attrs.to_vec(),
-            })?;
+        let clique =
+            tree.containing_clique(attrs)
+                .ok_or_else(|| PgmError::UncoveredMeasurement {
+                    attrs: attrs.to_vec(),
+                })?;
         let m = self.beliefs[clique].marginalize_keep(attrs)?;
         Ok(m.probabilities())
     }
@@ -157,10 +157,15 @@ mod tests {
         };
         let mut joint = vec![0.0f64; cells];
         for (idx, slot) in joint.iter_mut().enumerate() {
-            let codes: Vec<usize> = (0..shape.len()).map(|a| (idx / strides[a]) % shape[a]).collect();
+            let codes: Vec<usize> = (0..shape.len())
+                .map(|a| (idx / strides[a]) % shape[a])
+                .collect();
             let mut log_p = 0.0;
             for (clique, pot) in cliques.iter().zip(pots) {
-                let cs: Vec<usize> = clique.iter().map(|&a| pot.shape()[clique.iter().position(|&x| x == a).unwrap()]).collect();
+                let cs: Vec<usize> = clique
+                    .iter()
+                    .map(|&a| pot.shape()[clique.iter().position(|&x| x == a).unwrap()])
+                    .collect();
                 let cstr = {
                     let mut s = vec![1; cs.len()];
                     for i in (0..cs.len().saturating_sub(1)).rev() {
@@ -242,8 +247,14 @@ mod tests {
         let cal = calibrate(&tree, &pots).unwrap();
         // Neighboring beliefs must agree on their separator marginals.
         for (i, j, sep) in tree.edges() {
-            let mi = cal.beliefs[*i].marginalize_keep(sep).unwrap().probabilities();
-            let mj = cal.beliefs[*j].marginalize_keep(sep).unwrap().probabilities();
+            let mi = cal.beliefs[*i]
+                .marginalize_keep(sep)
+                .unwrap()
+                .probabilities();
+            let mj = cal.beliefs[*j]
+                .marginalize_keep(sep)
+                .unwrap()
+                .probabilities();
             for (a, b) in mi.iter().zip(&mj) {
                 assert!((a - b).abs() < 1e-9);
             }

@@ -64,8 +64,7 @@ impl JunctionTree {
                 if eliminated[v] {
                     continue;
                 }
-                let nbrs: Vec<usize> =
-                    (0..n).filter(|&u| !eliminated[u] && adj[v][u]).collect();
+                let nbrs: Vec<usize> = (0..n).filter(|&u| !eliminated[u] && adj[v][u]).collect();
                 let mut fill = 0usize;
                 for (k, &a) in nbrs.iter().enumerate() {
                     for &b in &nbrs[k + 1..] {

@@ -82,7 +82,12 @@ impl TreeSampler {
             };
             let sep_positions: Vec<usize> = sep_attrs
                 .iter()
-                .map(|a| attrs.iter().position(|x| x == a).expect("separator ⊆ clique"))
+                .map(|a| {
+                    attrs
+                        .iter()
+                        .position(|x| x == a)
+                        .expect("separator ⊆ clique")
+                })
                 .collect();
             let sep_shape: Vec<usize> = sep_positions.iter().map(|&p| shape[p]).collect();
             let sep_strides = strides_of(&sep_shape);
@@ -232,10 +237,7 @@ mod tests {
         let cols = sampler.sample_columns(40_000, &mut rng);
         // Correlation of (0,2) through the chain: agreement prob
         // = 0.9*0.9 + 0.1*0.1 = 0.82.
-        let agree = (0..40_000)
-            .filter(|&r| cols[0][r] == cols[2][r])
-            .count() as f64
-            / 40_000.0;
+        let agree = (0..40_000).filter(|&r| cols[0][r] == cols[2][r]).count() as f64 / 40_000.0;
         assert!((agree - 0.82).abs() < 0.02, "agree = {agree}");
     }
 

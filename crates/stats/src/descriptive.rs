@@ -51,12 +51,7 @@ pub fn weighted_mean(values: &[f64], weights: &[f64]) -> Result<f64> {
             value: total,
         });
     }
-    Ok(values
-        .iter()
-        .zip(weights)
-        .map(|(v, w)| v * w)
-        .sum::<f64>()
-        / total)
+    Ok(values.iter().zip(weights).map(|(v, w)| v * w).sum::<f64>() / total)
 }
 
 /// Linear-interpolation quantile (type 7). Sorts a copy.

@@ -77,7 +77,10 @@ pub fn chi_square_independence(table: &[Vec<f64>]) -> Result<TestResult> {
     let r = table.len();
     let c = table.first().map_or(0, Vec::len);
     if r < 2 || c < 2 {
-        return Err(StatsError::TooFewObservations { needed: 2, got: r.min(c) });
+        return Err(StatsError::TooFewObservations {
+            needed: 2,
+            got: r.min(c),
+        });
     }
     for row in table {
         if row.len() != c {
@@ -95,7 +98,9 @@ pub fn chi_square_independence(table: &[Vec<f64>]) -> Result<TestResult> {
         });
     }
     let row_sums: Vec<f64> = table.iter().map(|row| row.iter().sum()).collect();
-    let col_sums: Vec<f64> = (0..c).map(|j| table.iter().map(|row| row[j]).sum()).collect();
+    let col_sums: Vec<f64> = (0..c)
+        .map(|j| table.iter().map(|row| row[j]).sum())
+        .collect();
     let mut chi2 = 0.0;
     for i in 0..r {
         for j in 0..c {

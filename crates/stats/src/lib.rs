@@ -32,7 +32,9 @@ pub mod rubin;
 pub mod special;
 
 pub use correlation::{is_strong, pearson, ranks, spearman};
-pub use descriptive::{iqr, mean, mean_difference, median, quantile, std_dev, variance, weighted_mean};
+pub use descriptive::{
+    iqr, mean, mean_difference, median, quantile, std_dev, variance, weighted_mean,
+};
 pub use error::{Result, StatsError};
 pub use hypothesis::{chi_square_independence, two_proportion_z, welch_t, TestResult};
 pub use linalg::Matrix;

@@ -77,7 +77,10 @@ pub fn logistic(x: &Matrix, y: &[f64], options: LogisticOptions) -> Result<Logis
         });
     }
     if n <= k {
-        return Err(StatsError::TooFewObservations { needed: k + 1, got: n });
+        return Err(StatsError::TooFewObservations {
+            needed: k + 1,
+            got: n,
+        });
     }
     for &v in y {
         if v != 0.0 && v != 1.0 {
@@ -137,7 +140,12 @@ pub fn logistic_columns(columns: &[Vec<f64>], y: &[f64]) -> Result<LogisticFit> 
 
 /// Unadjusted odds ratio from a 2×2 table with Haldane–Anscombe 0.5
 /// correction: OR = (a·d)/(b·c) over exposure × outcome counts.
-pub fn odds_ratio_2x2(exposed_yes: f64, exposed_no: f64, unexposed_yes: f64, unexposed_no: f64) -> f64 {
+pub fn odds_ratio_2x2(
+    exposed_yes: f64,
+    exposed_no: f64,
+    unexposed_yes: f64,
+    unexposed_no: f64,
+) -> f64 {
     let (a, b, c, d) = (
         exposed_yes + 0.5,
         exposed_no + 0.5,
@@ -166,8 +174,16 @@ mod tests {
             })
             .collect();
         let fit = logistic_columns(&[x1], &y).unwrap();
-        assert!((fit.coefficients[0] + 0.5).abs() < 0.08, "{:?}", fit.coefficients);
-        assert!((fit.coefficients[1] - 1.5).abs() < 0.12, "{:?}", fit.coefficients);
+        assert!(
+            (fit.coefficients[0] + 0.5).abs() < 0.08,
+            "{:?}",
+            fit.coefficients
+        );
+        assert!(
+            (fit.coefficients[1] - 1.5).abs() < 0.12,
+            "{:?}",
+            fit.coefficients
+        );
         assert!(fit.z_stat(1) > 10.0);
     }
 

@@ -23,12 +23,7 @@ pub struct Moderation {
 }
 
 /// Fit y ~ x + m + x·m + covariates and report the interaction structure.
-pub fn moderation(
-    y: &[f64],
-    x: &[f64],
-    m: &[f64],
-    covariates: &[Vec<f64>],
-) -> Result<Moderation> {
+pub fn moderation(y: &[f64], x: &[f64], m: &[f64], covariates: &[Vec<f64>]) -> Result<Moderation> {
     let interaction_col: Vec<f64> = x.iter().zip(m).map(|(a, b)| a * b).collect();
     let mut columns: Vec<Vec<f64>> = vec![x.to_vec(), m.to_vec(), interaction_col];
     columns.extend(covariates.iter().cloned());
@@ -76,7 +71,11 @@ pub fn mediation(y: &[f64], x: &[f64], mediator: &[f64]) -> Result<Mediation> {
         b_path: b,
         direct,
         indirect,
-        sobel_z: if sobel_se > 0.0 { indirect / sobel_se } else { 0.0 },
+        sobel_z: if sobel_se > 0.0 {
+            indirect / sobel_se
+        } else {
+            0.0
+        },
     })
 }
 

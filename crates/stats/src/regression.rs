@@ -53,7 +53,10 @@ pub fn wls(x: &Matrix, y: &[f64], weights: Option<&[f64]>) -> Result<LinearFit> 
         });
     }
     if n <= k {
-        return Err(StatsError::TooFewObservations { needed: k + 1, got: n });
+        return Err(StatsError::TooFewObservations {
+            needed: k + 1,
+            got: n,
+        });
     }
     let gram = x.gram(weights)?;
     let rhs = x.gram_rhs(y, weights)?;

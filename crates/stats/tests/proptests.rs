@@ -1,9 +1,7 @@
 //! Property-based tests for statistical invariants.
 
 use proptest::prelude::*;
-use synrd_stats::{
-    mean, pearson, ranks, rubin_combine, spearman, special, variance,
-};
+use synrd_stats::{mean, pearson, ranks, rubin_combine, spearman, special, variance};
 
 fn finite_vec(len: std::ops::RangeInclusive<usize>) -> impl Strategy<Value = Vec<f64>> {
     proptest::collection::vec(-1e6f64..1e6, len)

@@ -40,7 +40,9 @@ pub(crate) fn check_domain_limit(domain: &Domain, limit: f64, name: &str) -> Res
     let size = domain.size();
     if size > limit {
         return Err(crate::error::SynthError::Infeasible {
-            reason: format!("{name}: domain size {size:.2e} exceeds the tractable limit {limit:.0e}"),
+            reason: format!(
+                "{name}: domain size {size:.2e} exceeds the tractable limit {limit:.0e}"
+            ),
         });
     }
     Ok(())

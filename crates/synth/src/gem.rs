@@ -362,10 +362,7 @@ mod tests {
     use synrd_data::Attribute;
 
     fn correlated(n: usize) -> Dataset {
-        let domain = Domain::new(vec![
-            Attribute::binary("x"),
-            Attribute::ordinal("y", 3),
-        ]);
+        let domain = Domain::new(vec![Attribute::binary("x"), Attribute::ordinal("y", 3)]);
         let mut rng = StdRng::seed_from_u64(6);
         let mut ds = Dataset::with_capacity(domain, n);
         for _ in 0..n {

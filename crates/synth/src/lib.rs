@@ -166,7 +166,9 @@ mod tests {
         for kind in SynthKind::ALL {
             let mut synth = kind.build();
             let privacy = kind.native_privacy(std::f64::consts::E, data.n_rows());
-            synth.fit(&data, privacy, 7).unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+            synth
+                .fit(&data, privacy, 7)
+                .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
             let sample = synth.sample(2000, 3).unwrap();
             assert_eq!(sample.n_rows(), 2000, "{}", kind.name());
             assert_eq!(sample.domain(), data.domain(), "{}", kind.name());
@@ -185,7 +187,12 @@ mod tests {
     fn marginal_methods_preserve_one_way_marginals() {
         let data = correlated_data(5000, 2);
         let real_x = data.mean_of(0).unwrap();
-        for kind in [SynthKind::Mst, SynthKind::Aim, SynthKind::PrivMrf, SynthKind::PrivBayes] {
+        for kind in [
+            SynthKind::Mst,
+            SynthKind::Aim,
+            SynthKind::PrivMrf,
+            SynthKind::PrivBayes,
+        ] {
             let mut synth = kind.build();
             synth
                 .fit(&data, kind.native_privacy(std::f64::consts::E, 5000), 11)
@@ -205,7 +212,11 @@ mod tests {
         let data = correlated_data(8000, 3);
         let mut synth = Mst::default();
         synth
-            .fit(&data, SynthKind::Mst.native_privacy(std::f64::consts::E, 8000), 13)
+            .fit(
+                &data,
+                SynthKind::Mst.native_privacy(std::f64::consts::E, 8000),
+                13,
+            )
             .unwrap();
         let sample = synth.sample(8000, 17).unwrap();
         let real = Marginal::count(&data, &[0, 1]).unwrap();
@@ -217,7 +228,9 @@ mod tests {
     #[test]
     fn pgm_methods_refuse_huge_domains() {
         // 57 attributes of cardinality 6 => domain ~ 6^57 >> 1e25.
-        let attrs: Vec<Attribute> = (0..57).map(|i| Attribute::ordinal(format!("a{i}"), 6)).collect();
+        let attrs: Vec<Attribute> = (0..57)
+            .map(|i| Attribute::ordinal(format!("a{i}"), 6))
+            .collect();
         let domain = Domain::new(attrs);
         let mut ds = Dataset::with_capacity(domain, 64);
         use rand::rngs::StdRng;
@@ -230,7 +243,12 @@ mod tests {
             }
             ds.push_row(&row).unwrap();
         }
-        for kind in [SynthKind::Mst, SynthKind::Aim, SynthKind::PrivMrf, SynthKind::PrivBayes] {
+        for kind in [
+            SynthKind::Mst,
+            SynthKind::Aim,
+            SynthKind::PrivMrf,
+            SynthKind::PrivBayes,
+        ] {
             let mut synth = kind.build();
             let err = synth.fit(&ds, kind.native_privacy(1.0, 64), 1).unwrap_err();
             assert!(

@@ -208,8 +208,7 @@ impl Synthesizer for PateCtgan {
 
                 // --- Generator: fool the student + match noisy moments. ---
                 let student_cache = student.forward(&soft);
-                let y = student_cache.output()[0]
-                    .clamp(1e-6, 1.0 - 1e-6);
+                let y = student_cache.output()[0].clamp(1e-6, 1.0 - 1e-6);
                 // d(-ln y)/dy = -1/y.
                 let dl_dy = [(-1.0 / y)];
                 let mut dl_dsoft = student.input_gradient(&student_cache, &dl_dy);
@@ -248,7 +247,9 @@ impl Synthesizer for PateCtgan {
         let d = fitted.domain.len();
         let mut columns = vec![Vec::with_capacity(n); d];
         for _ in 0..n {
-            let z: Vec<f64> = (0..fitted.z_dim).map(|_| standard_normal(&mut rng)).collect();
+            let z: Vec<f64> = (0..fitted.z_dim)
+                .map(|_| standard_normal(&mut rng))
+                .collect();
             let logits = fitted.generator.predict(&z);
             let soft = block_softmax(&logits, &fitted.blocks);
             for (a, &(off, card)) in fitted.blocks.iter().enumerate() {

@@ -68,12 +68,9 @@ impl PrivBayes {
 
     /// The learned topological structure (attr, parents), post-fit.
     pub fn structure(&self) -> Option<Vec<(usize, Vec<usize>)>> {
-        self.fitted.as_ref().map(|(_, nodes)| {
-            nodes
-                .iter()
-                .map(|n| (n.attr, n.parents.clone()))
-                .collect()
-        })
+        self.fitted
+            .as_ref()
+            .map(|(_, nodes)| nodes.iter().map(|n| (n.attr, n.parents.clone())).collect())
     }
 }
 
@@ -102,7 +99,8 @@ impl Synthesizer for PrivBayes {
         // (PrivBayes' theta-usefulness heuristic, simplified).
         let avg_card = data.domain().shape().iter().sum::<usize>() as f64 / d as f64;
         let mut degree = self.options.max_degree;
-        while degree > 1 && avg_card.powi(degree as i32 + 1) > (n * epsilon / (4.0 * d as f64)).max(2.0)
+        while degree > 1
+            && avg_card.powi(degree as i32 + 1) > (n * epsilon / (4.0 * d as f64)).max(2.0)
         {
             degree -= 1;
         }
@@ -137,9 +135,7 @@ impl Synthesizer for PrivBayes {
                     continue;
                 }
                 let mut ranked: Vec<usize> = order.clone();
-                ranked.sort_by(|&a, &b| {
-                    mi[x][b].partial_cmp(&mi[x][a]).expect("finite MI")
-                });
+                ranked.sort_by(|&a, &b| mi[x][b].partial_cmp(&mi[x][a]).expect("finite MI"));
                 for s in 0..=degree.min(ranked.len()) {
                     let mut parents: Vec<usize> = ranked[..s].to_vec();
                     parents.sort_unstable();
@@ -267,7 +263,11 @@ mod tests {
         for _ in 0..n {
             let a = u32::from(rng.gen::<f64>() < 0.5);
             let b = u32::from(rng.gen::<f64>() < 0.5);
-            let c = if rng.gen::<f64>() < 0.92 { a ^ b } else { 1 - (a ^ b) };
+            let c = if rng.gen::<f64>() < 0.92 {
+                a ^ b
+            } else {
+                1 - (a ^ b)
+            };
             ds.push_row(&[a, b, c]).unwrap();
         }
         ds

@@ -46,16 +46,21 @@ fn main() {
     // Baseline: the real data should not discover anything (alpha = 5%).
     let real_dep = spurious_discovery(&real, "dep_adult");
     let real_suic = spurious_discovery(&real, "suicidality_adult");
-    println!("{:<12} depression: {:<8} suicidality: {:<8}", "real data",
+    println!(
+        "{:<12} depression: {:<8} suicidality: {:<8}",
+        "real data",
         if real_dep { "FALSE+" } else { "null ok" },
-        if real_suic { "FALSE+" } else { "null ok" });
+        if real_suic { "FALSE+" } else { "null ok" }
+    );
 
-    for kind in [SynthKind::Mst, SynthKind::PrivBayes, SynthKind::PateCtgan, SynthKind::Gem] {
+    for kind in [
+        SynthKind::Mst,
+        SynthKind::PrivBayes,
+        SynthKind::PateCtgan,
+        SynthKind::Gem,
+    ] {
         let mut synth = kind.build();
-        if synth
-            .fit(&real, kind.native_privacy(eps, n), 13)
-            .is_err()
-        {
+        if synth.fit(&real, kind.native_privacy(eps, n), 13).is_err() {
             println!("{:<12} infeasible", kind.name());
             continue;
         }

@@ -16,7 +16,12 @@ fn main() {
     //    aspirations, HSLS:09).
     let paper = publication_by_id("saw2018").expect("registered paper");
     let data = paper.generate(5_000, 42);
-    println!("paper: {} ({} rows, {} variables)", paper.name(), data.n_rows(), data.n_attrs());
+    println!(
+        "paper: {} ({} rows, {} variables)",
+        paper.name(),
+        data.n_rows(),
+        data.n_attrs()
+    );
 
     // 2. Fit MST at the paper's preferred privacy level eps = e.
     let eps = std::f64::consts::E;
@@ -37,7 +42,12 @@ fn main() {
             Err(_) => false,
         };
         reproduced += usize::from(holds);
-        println!("#{:<3} {:<55} {:>10}", finding.id, finding.name, if holds { "yes" } else { "NO" });
+        println!(
+            "#{:<3} {:<55} {:>10}",
+            finding.id,
+            finding.name,
+            if holds { "yes" } else { "NO" }
+        );
     }
     println!(
         "\nepistemic parity (single draw): {reproduced}/{} = {:.2}",

@@ -31,7 +31,13 @@ fn main() {
         match synth.fit(&data, kind.native_privacy(eps, data.n_rows()), 3) {
             Ok(()) => {}
             Err(SynthError::Infeasible { .. }) => {
-                println!("{:<12} {:>9} {:>10} {:>12}", kind.name(), "infeas.", "-", "-");
+                println!(
+                    "{:<12} {:>9} {:>10} {:>12}",
+                    kind.name(),
+                    "infeas.",
+                    "-",
+                    "-"
+                );
                 continue;
             }
             Err(e) => {

@@ -24,9 +24,18 @@ fn main() {
         .map(|_| &workload[rng.gen_range(0..workload.len())])
         .collect();
 
-    println!("random pair-marginal workload over {} ({} queries)\n", data.domain().size(), queries.len());
+    println!(
+        "random pair-marginal workload over {} ({} queries)\n",
+        data.domain().size(),
+        queries.len()
+    );
     println!("{:<12} {:>16}", "synthesizer", "mean TV error");
-    for kind in [SynthKind::Mst, SynthKind::Aim, SynthKind::PrivBayes, SynthKind::Gem] {
+    for kind in [
+        SynthKind::Mst,
+        SynthKind::Aim,
+        SynthKind::PrivBayes,
+        SynthKind::Gem,
+    ] {
         let mut synth = kind.build();
         synth
             .fit(&data, kind.native_privacy(eps, data.n_rows()), 23)

@@ -1,0 +1,21 @@
+//! Workspace umbrella for the SynRD epistemic-parity reproduction.
+//!
+//! The real functionality lives in the `crates/` workspace members; this
+//! crate exists to host the workspace-level integration tests in `tests/`
+//! and the runnable walkthroughs in `examples/`, and re-exports the member
+//! crates under one roof for convenience:
+//!
+//! ```no_run
+//! use synrd_repro::synrd::{run_paper, BenchmarkConfig};
+//! use synrd_repro::synrd::publication_by_id;
+//!
+//! let paper = publication_by_id("saw2018").expect("registered paper");
+//! let report = run_paper(paper.as_ref(), &BenchmarkConfig::quick()).expect("run");
+//! assert_eq!(report.paper_id, "saw2018");
+//! ```
+
+pub use synrd;
+pub use synrd_data;
+pub use synrd_dp;
+pub use synrd_stats;
+pub use synrd_synth;

@@ -53,8 +53,7 @@ fn parity_pipeline_on_fruiht() {
 
     // Control row: resampling the real data must reproduce nearly all
     // findings (the paper reports >97% of findings at 100%).
-    let control_mean: f64 =
-        report.control.iter().sum::<f64>() / report.control.len() as f64;
+    let control_mean: f64 = report.control.iter().sum::<f64>() / report.control.len() as f64;
     assert!(control_mean > 0.8, "control mean = {control_mean:.3}");
 
     // Rendering must include every row and the control.
@@ -85,6 +84,71 @@ fn aggregation_produces_fig4_series() {
     }
     let summary = paper_summary(&reports[0]);
     assert_eq!(summary.len(), 2);
+}
+
+#[test]
+fn parallel_grid_is_bitwise_identical_to_sequential() {
+    // The tentpole determinism guarantee: every trial seed is a word of the
+    // cell's (master, paper, synth, ε) ChaCha8 keystream, so the rayon grid
+    // must reproduce the sequential grid bit-for-bit, regardless of worker
+    // count or scheduling. `threads: 4` builds a 4-worker pool inside
+    // run_paper, so the parallel path genuinely multi-threads even on a
+    // single-CPU machine.
+    let paper = publication_by_id("fruiht2018").unwrap();
+    let config = BenchmarkConfig {
+        seeds: 1,
+        bootstraps: 2,
+        min_rows: 1_000,
+        ..mini_config()
+    };
+    let sequential = run_paper(
+        paper.as_ref(),
+        &BenchmarkConfig {
+            threads: 1,
+            ..config.clone()
+        },
+    )
+    .unwrap();
+    let parallel = run_paper(
+        paper.as_ref(),
+        &BenchmarkConfig {
+            threads: 4,
+            ..config.clone()
+        },
+    )
+    .unwrap();
+    assert!(
+        parallel.bitwise_eq(&sequential),
+        "parallel grid diverged from sequential:\n  sequential: {:?}\n  parallel: {:?}",
+        sequential.cells,
+        parallel.cells,
+    );
+    // And a second parallel run reproduces the first exactly (no hidden
+    // entropy anywhere in the pipeline).
+    let again = run_paper(
+        paper.as_ref(),
+        &BenchmarkConfig {
+            threads: 4,
+            ..config
+        },
+    )
+    .unwrap();
+    assert!(again.bitwise_eq(&parallel));
+}
+
+#[test]
+fn cells_use_distinct_seed_streams() {
+    // Regression test for the seed-sharing bug where every (synth, ε) cell
+    // reused the same fit seed: the keystreams of two different cells must
+    // differ in their first trial seed.
+    use synrd_dp::grid_seed;
+    let a = grid_seed(99, "fruiht2018", "MST", 1.0, 0);
+    let b = grid_seed(99, "fruiht2018", "MST", std::f64::consts::E, 0);
+    let c = grid_seed(99, "fruiht2018", "GEM", 1.0, 0);
+    let d = grid_seed(99, "saw2018", "MST", 1.0, 0);
+    assert_ne!(a, b, "epsilon must decorrelate cell seeds");
+    assert_ne!(a, c, "synthesizer must decorrelate cell seeds");
+    assert_ne!(a, d, "paper must decorrelate cell seeds");
 }
 
 #[test]

@@ -57,7 +57,11 @@ fn mst_preserves_pairwise_structure_on_fruiht() {
     let data = BenchmarkDataset::Fruiht2018.generate(4_173, 11);
     let mut synth = SynthKind::Mst.build();
     synth
-        .fit(&data, SynthKind::Mst.native_privacy(EPS_E, data.n_rows()), 5)
+        .fit(
+            &data,
+            SynthKind::Mst.native_privacy(EPS_E, data.n_rows()),
+            5,
+        )
         .unwrap();
     let sample = synth.sample(data.n_rows(), 7).unwrap();
     // mentor × edu_attain: synthetic must keep the mentorship gap direction.

@@ -1,0 +1,89 @@
+//! Smoke tests for the paper registry (§5.2): the benchmark is only as
+//! meaningful as its catalogue of publications, so the registry must be
+//! complete, stable under lookup, and evaluable end to end.
+
+use std::collections::HashSet;
+use synrd::publication::{all_publications, publication_by_id};
+
+/// The eight benchmark papers of Table 1, alphabetical by first author.
+const EXPECTED_IDS: [&str; 8] = [
+    "assari2019",
+    "fairman2019",
+    "iverson2021",
+    "fruiht2018",
+    "jeong2021",
+    "lee2021",
+    "pierce2019",
+    "saw2018",
+];
+
+#[test]
+fn registry_contains_exactly_the_eight_papers() {
+    let papers = all_publications();
+    assert_eq!(papers.len(), 8, "§5.2: the benchmark has eight papers");
+    let ids: Vec<&str> = papers.iter().map(|p| p.dataset().id()).collect();
+    assert_eq!(ids, EXPECTED_IDS, "registry order must match Table 1");
+    let unique: HashSet<&str> = ids.iter().copied().collect();
+    assert_eq!(unique.len(), 8, "paper ids must be unique");
+}
+
+#[test]
+fn publication_by_id_round_trips() {
+    for paper in all_publications() {
+        let id = paper.dataset().id();
+        let looked_up = publication_by_id(id)
+            .unwrap_or_else(|| panic!("registered paper {id} must be retrievable"));
+        assert_eq!(looked_up.dataset().id(), id);
+        assert_eq!(looked_up.name(), paper.name());
+        assert_eq!(
+            looked_up.findings().len(),
+            paper.findings().len(),
+            "{id}: lookup must yield the same findings"
+        );
+    }
+    assert!(publication_by_id("nosuchpaper2099").is_none());
+    assert!(publication_by_id("").is_none());
+}
+
+#[test]
+fn every_paper_has_nonempty_findings_with_unique_ids() {
+    let mut global_ids = HashSet::new();
+    for paper in all_publications() {
+        let findings = paper.findings();
+        assert!(
+            !findings.is_empty(),
+            "{}: a paper without findings cannot score parity",
+            paper.name()
+        );
+        for finding in &findings {
+            assert!(
+                global_ids.insert(finding.id),
+                "{}: finding id {} reused across the registry",
+                paper.name(),
+                finding.id
+            );
+        }
+    }
+}
+
+#[test]
+fn every_finding_evaluates_on_generated_data() {
+    for paper in all_publications() {
+        // Small-but-stable sample: enough rows for rare outcomes (e.g.
+        // Assari's 4% mortality) without slowing the smoke test down.
+        let n = paper.dataset().paper_n().min(4_000);
+        let data = paper.generate(n, 20230531);
+        assert_eq!(data.n_rows(), n);
+        for finding in paper.findings() {
+            let stats = finding.evaluate(&data).unwrap_or_else(|e| {
+                panic!("{} #{}: evaluate failed: {e}", paper.name(), finding.id)
+            });
+            assert!(
+                !stats.is_empty(),
+                "{} #{}: a finding must produce at least one statistic",
+                paper.name(),
+                finding.id
+            );
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Offline stand-in for the subset of `criterion` that synrd's benches use.
+//!
+//! Provides `criterion_group!` / `criterion_main!`, `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Bencher::iter` and `black_box`.
+//! Instead of criterion's statistical analysis it runs a short warmup, then
+//! `sample_size` timed samples, and prints mean / min / max wall-clock time
+//! per sample. Good enough to rank implementations and catch order-of-
+//! magnitude regressions offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a computed value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier for one parameterized benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Identify a case by its parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+
+    /// Identify a case by function name and parameter.
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// Runs one benchmark body repeatedly.
+pub struct Bencher {
+    samples: usize,
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `body`, once per sample, after one untimed warmup call.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
+        black_box(body()); // warmup
+        for _ in 0..self.samples {
+            let started = Instant::now();
+            black_box(body());
+            self.timings.push(started.elapsed());
+        }
+    }
+}
+
+fn run_one(group: Option<&str>, name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples,
+        timings: Vec::new(),
+    };
+    f(&mut bencher);
+    let full_name = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_string(),
+    };
+    if bencher.timings.is_empty() {
+        println!("{full_name:<60} (no samples)");
+        return;
+    }
+    let total: Duration = bencher.timings.iter().sum();
+    let mean = total / bencher.timings.len() as u32;
+    let min = bencher.timings.iter().min().expect("nonempty");
+    let max = bencher.timings.iter().max().expect("nonempty");
+    println!(
+        "{full_name:<60} mean {mean:>12?}  min {min:>12?}  max {max:>12?}  ({} samples)",
+        bencher.timings.len()
+    );
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            default_samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(None, name, self.default_samples, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = self.default_samples;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            samples,
+        }
+    }
+}
+
+/// A named group of benchmarks with a shared sample size.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(Some(&self.name), name, self.samples, &mut f);
+        self
+    }
+
+    /// Run one parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut adapted = |b: &mut Bencher| f(b, input);
+        run_one(Some(&self.name), &id.label, self.samples, &mut adapted);
+        self
+    }
+
+    /// Finish the group (printing is immediate; this is a no-op for
+    /// criterion API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("grouped");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::from_parameter(7usize), &7usize, |b, &n| {
+            b.iter(|| black_box(n * 2));
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut criterion = Criterion::default();
+        demo(&mut criterion);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(10).label, "10");
+        assert_eq!(BenchmarkId::new("fit", "MST").label, "fit/MST");
+    }
+}

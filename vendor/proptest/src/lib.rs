@@ -1,0 +1,233 @@
+//! Offline stand-in for the subset of `proptest` that synrd's property
+//! tests use.
+//!
+//! Implements the [`Strategy`] trait (ranges, tuples, `Just`, vectors,
+//! `prop_map` / `prop_flat_map`), the [`proptest!`] test macro and the
+//! `prop_assert*` / `prop_assume!` macros. Differences from real proptest:
+//! cases are generated from a *deterministic* per-test seed (reported on
+//! failure, overridable via `PROPTEST_SEED`; case count via
+//! `PROPTEST_CASES`, default 64), and failing inputs are not shrunk.
+
+use rand::rngs::StdRng;
+pub use rand::SeedableRng;
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{Just, Strategy};
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, TestCaseError,
+    };
+}
+
+/// RNG used to drive strategies.
+pub type TestRng = StdRng;
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped, not failed.
+    Reject(String),
+    /// A `prop_assert*` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure with a message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// Build a rejection with a message.
+    pub fn reject(message: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+/// Number of cases to run per property (`PROPTEST_CASES`, default 64).
+pub fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(64)
+}
+
+/// Deterministic master seed for a property test: FNV-1a of the test path,
+/// overridable via `PROPTEST_SEED` for replaying a reported failure.
+pub fn master_seed(test_path: &str) -> u64 {
+    if let Some(seed) = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        return seed;
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The per-test driver behind [`proptest!`]; not public API.
+pub fn run_property<F>(test_path: &str, body: F)
+where
+    F: Fn(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let cases = case_count();
+    let master = master_seed(test_path);
+    let mut rejected = 0u64;
+    let max_rejects = cases.saturating_mul(16).max(1024);
+    let mut case = 0u64;
+    let mut stream = 0u64;
+    while case < cases {
+        let seed = master ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        stream += 1;
+        let mut rng = TestRng::seed_from_u64(seed);
+        match body(&mut rng) {
+            Ok(()) => case += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "{test_path}: too many prop_assume! rejections ({rejected})"
+                );
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!(
+                    "{test_path}: property failed on case {case}: {message}\n\
+                     (replay with PROPTEST_SEED={master})"
+                );
+            }
+        }
+    }
+}
+
+/// Defines property tests. Each function parameter is drawn from the
+/// strategy to the right of its `in` keyword; the body may use the
+/// `prop_assert*` and `prop_assume!` macros.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat_param in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_property(concat!(module_path!(), "::", stringify!($name)), |rng| {
+                    $(let $pat = $crate::Strategy::generate(&($strategy), rng);)+
+                    #[allow(unreachable_code)]
+                    {
+                        $body
+                        Ok(())
+                    }
+                });
+            }
+        )*
+    };
+}
+
+/// Like `assert!`, but reports the failing case and replay seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Like `assert_eq!`, but reports the failing case and replay seed.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {left:?}, right: {right:?})",
+                stringify!($left),
+                stringify!($right),
+            )));
+        }
+    }};
+}
+
+/// Like `assert_ne!`, but reports the failing case and replay seed.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left != right) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both: {left:?})",
+                stringify!($left),
+                stringify!($right),
+            )));
+        }
+    }};
+}
+
+/// Skip the current case (without failing) when a precondition is unmet.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Addition commutes (sanity of macro plumbing + int strategies).
+        #[test]
+        fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        /// Tuples, maps and vec strategies compose.
+        #[test]
+        fn composed_strategies(
+            (len, xs) in (1usize..=8).prop_flat_map(|len| {
+                (Just(len), crate::collection::vec(-1.0f64..1.0, len..=len))
+            }),
+        ) {
+            prop_assert_eq!(xs.len(), len);
+            for x in &xs {
+                prop_assert!((-1.0..1.0).contains(x), "out of range: {x}");
+            }
+        }
+
+        /// prop_assume rejects without failing.
+        #[test]
+        fn assume_filters(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn master_seed_is_stable_per_path() {
+        assert_eq!(crate::master_seed("a::b"), crate::master_seed("a::b"));
+        assert_ne!(crate::master_seed("a::b"), crate::master_seed("a::c"));
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failures_report_seed() {
+        crate::run_property("demo", |_| Err(crate::TestCaseError::fail("nope")));
+    }
+}

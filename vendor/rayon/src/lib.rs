@@ -1,0 +1,368 @@
+//! Offline stand-in for the subset of `rayon` that synrd uses.
+//!
+//! Provides `par_iter()` / `into_par_iter()` with `map`, `for_each` and
+//! `collect`, executed on scoped `std::thread` workers pulling items from a
+//! shared atomic cursor (dynamic scheduling, like rayon's work stealing at
+//! whole-item granularity). Results preserve input order regardless of
+//! completion order, and a panicking item propagates the panic to the
+//! caller, as with real rayon.
+//!
+//! Differences from real rayon: iterators are eager (items are collected
+//! into a `Vec` up front), pools don't own persistent workers (threads are
+//! spawned per call — fine for the coarse-grained cells this workspace
+//! parallelizes), and only the combinators listed above exist. The worker
+//! count is, in precedence order: the innermost [`ThreadPool::install`]
+//! scope, `RAYON_NUM_THREADS`, available parallelism.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`] (0 = none).
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads a parallel call will use.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(Cell::get);
+    if installed > 0 {
+        return installed;
+    }
+    if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Builder for a worker pool with an explicit thread count.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (this shim cannot actually fail;
+/// the type exists for rayon API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Start building (0 threads = use the default count).
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Set the worker count for parallel calls made inside this pool.
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A worker pool: parallel calls made inside [`install`](ThreadPool::install)
+/// use its thread count instead of the default.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's worker count governing any parallel calls
+    /// it makes (on this thread). The previous count is restored on exit,
+    /// including on panic.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(INSTALLED_THREADS.with(Cell::get));
+        INSTALLED_THREADS.with(|c| c.set(self.num_threads));
+        op()
+    }
+}
+
+/// Order-preserving dynamic-scheduled parallel map.
+fn parallel_map<I, R, F>(items: Vec<I>, f: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    let n = items.len();
+    let workers = current_num_threads().min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let slots = &slots;
+    let results = &results;
+    let cursor = &cursor;
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("item slot poisoned")
+                    .take()
+                    .expect("item taken twice");
+                let out = f(item);
+                *results[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    results
+        .iter()
+        .map(|m| {
+            m.lock()
+                .expect("result slot poisoned")
+                .take()
+                .expect("worker completed every claimed item")
+        })
+        .collect()
+}
+
+/// An eager "parallel iterator": the not-yet-mapped item buffer.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+/// A parallel iterator with a pending `map`.
+pub struct ParMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+/// Conversion into a parallel iterator (by value).
+pub trait IntoParallelIterator {
+    /// Item yielded by the parallel iterator.
+    type Item: Send;
+    /// Begin a parallel pipeline over `self`.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+/// Conversion into a parallel iterator over references (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Reference item type.
+    type Item: Send + 'a;
+    /// Begin a parallel pipeline over `&self`'s elements.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for std::ops::Range<T>
+where
+    std::ops::Range<T>: Iterator<Item = T>,
+{
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for std::ops::RangeInclusive<T>
+where
+    std::ops::RangeInclusive<T>: Iterator<Item = T>,
+{
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// The combinators shared by every stage of the pipeline.
+pub trait ParallelIterator: Sized {
+    /// Item type flowing out of this stage.
+    type Item: Send;
+
+    /// Run the pipeline, yielding results in input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Map each item through `f` in parallel.
+    fn map<R, F>(self, f: F) -> ParMap<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        ParMap {
+            items: vec![self],
+            f,
+        }
+    }
+
+    /// Apply `f` to every item in parallel.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let staged = self.run();
+        parallel_map(staged, f);
+    }
+
+    /// Collect results (in input order) into any `FromIterator` collection.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        self.run().into_iter().collect()
+    }
+}
+
+impl<I: Send> ParallelIterator for ParIter<I> {
+    type Item = I;
+    fn run(self) -> Vec<I> {
+        self.items
+    }
+}
+
+impl<P, R, F> ParallelIterator for ParMap<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync,
+{
+    type Item = R;
+    fn run(self) -> Vec<R> {
+        let ParMap { items, f } = self;
+        let staged: Vec<P::Item> = items.into_iter().flat_map(ParallelIterator::run).collect();
+        parallel_map(staged, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<usize> = (0..100usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_over_slice_refs() {
+        let data = vec![1u64, 2, 3, 4];
+        let out: Vec<u64> = data.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![2, 3, 4, 5]);
+        assert_eq!(data.len(), 4); // still owned by caller
+    }
+
+    #[test]
+    fn chained_maps_compose() {
+        let out: Vec<String> = (0..5usize)
+            .into_par_iter()
+            .map(|i| i + 10)
+            .map(|i| i.to_string())
+            .collect();
+        assert_eq!(out, vec!["10", "11", "12", "13", "14"]);
+    }
+
+    #[test]
+    fn for_each_touches_every_item() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let sum = AtomicUsize::new(0);
+        (1..=100usize).into_par_iter().for_each(|i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn installed_pool_overrides_thread_count() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        let (inside, nested, outside) = {
+            let inside = pool.install(crate::current_num_threads);
+            let inner_pool = crate::ThreadPoolBuilder::new()
+                .num_threads(2)
+                .build()
+                .unwrap();
+            let nested = pool.install(|| inner_pool.install(crate::current_num_threads));
+            (inside, nested, crate::current_num_threads())
+        };
+        assert_eq!(inside, 3);
+        assert_eq!(nested, 2);
+        assert_ne!(outside, 0); // default restored after install
+                                // Work still completes (and in order) inside a pool.
+        let out: Vec<usize> =
+            pool.install(|| (0..20usize).into_par_iter().map(|i| i + 1).collect());
+        assert_eq!(out, (1..=20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        (0..8usize)
+            .into_par_iter()
+            .map(|i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+                i
+            })
+            .collect::<Vec<_>>();
+    }
+}
