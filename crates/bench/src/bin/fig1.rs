@@ -4,15 +4,30 @@
 //! total-variation similarity score used to judge "subjectively similar".
 //!
 //! ```text
-//! cargo run --release -p synrd-bench --bin fig1 [--paper-scale]
+//! cargo run --release -p synrd-bench --bin fig1 [--paper-scale] [--out-dir DIR]
 //! ```
+//!
+//! With `--out-dir`, the rendered figure is also written to
+//! `DIR/fig1.txt` so a result store carries every artifact of a run.
 
+use std::fmt::Write as _;
+use std::path::PathBuf;
 use synrd::visual::VisualFinding;
 use synrd_data::BenchmarkDataset;
 use synrd_synth::SynthKind;
 
 fn main() {
-    let paper_scale = std::env::args().any(|a| a == "--paper-scale");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paper_scale = args.iter().any(|a| a == "--paper-scale");
+    let out_dir = args.iter().position(|a| a == "--out-dir").map(|i| {
+        match args.get(i + 1).filter(|v| !v.starts_with("--")) {
+            Some(v) => PathBuf::from(v),
+            None => {
+                eprintln!("--out-dir requires a value");
+                std::process::exit(2);
+            }
+        }
+    });
     let n = if paper_scale {
         BenchmarkDataset::Fairman2019.paper_n()
     } else {
@@ -22,8 +37,13 @@ fn main() {
     let finding = VisualFinding::fairman_figure1();
     let real_table = finding.table(&real).expect("table over real data");
 
-    println!("=== Figure 1 (top): real data, n = {n} ===\n");
-    print!("{}", finding.render(&real, &real_table).expect("render"));
+    let mut out = String::new();
+    let _ = writeln!(out, "=== Figure 1 (top): real data, n = {n} ===\n");
+    let _ = write!(
+        out,
+        "{}",
+        finding.render(&real, &real_table).expect("render")
+    );
 
     // MST at epsilon = e, as in the paper's caption.
     let eps = std::f64::consts::E;
@@ -34,13 +54,31 @@ fn main() {
     let synthetic = synth.sample(n, 11).expect("sampling");
     let synth_table = finding.table(&synthetic).expect("table over synthetic");
 
-    println!("\n=== Figure 1 (bottom): MST synthetic at eps = e ===\n");
-    print!(
+    let _ = writeln!(
+        out,
+        "\n=== Figure 1 (bottom): MST synthetic at eps = e ===\n"
+    );
+    let _ = write!(
+        out,
         "{}",
         finding.render(&synthetic, &synth_table).expect("render")
     );
 
     let similarity = VisualFinding::similarity(&real_table, &synth_table);
-    println!("\nMean per-group total-variation similarity: {similarity:.4}");
-    println!("(paper: \"agreement is subjectively high, though imperfect\")");
+    let _ = writeln!(
+        out,
+        "\nMean per-group total-variation similarity: {similarity:.4}"
+    );
+    let _ = writeln!(
+        out,
+        "(paper: \"agreement is subjectively high, though imperfect\")"
+    );
+
+    print!("{out}");
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(&dir).expect("create --out-dir");
+        let path = dir.join("fig1.txt");
+        std::fs::write(&path, &out).expect("write fig1.txt");
+        println!("\n[store] wrote {}", path.display());
+    }
 }

@@ -4,33 +4,88 @@
 //!
 //! ```text
 //! cargo run --release -p synrd-bench --bin fig4 \
-//!     [--paper-scale] [--papers fruiht2018,pierce2019,saw2018]
+//!     [--paper-scale] [--papers fruiht2018,pierce2019,saw2018] \
+//!     [--out-dir DIR] [--resume] [--shard i/n] [--merge-shards d0,d1,...]
 //! ```
+//!
+//! The result-store flags behave exactly as in `fig3`: `--out-dir`
+//! persists cells into a content-addressed store, `--resume` serves them
+//! back (a warm store aggregates with zero synthesizer fits), `--shard`
+//! computes one deterministic slice of the cell list, and
+//! `--merge-shards` unions shard stores before aggregating.
 
-use synrd::benchmark::run_paper;
+use synrd::benchmark::{run_grid, PaperReport};
 use synrd::parity::aggregate;
 use synrd::report::render_fig4;
-use synrd_bench::{config_from_args, selected_publications};
+use synrd_bench::{
+    assemble_from_shards, cli_from_args, print_store_summary, run_shard_mode,
+    selected_publications, with_cell_store,
+};
+use synrd_store::JsonCodec;
 
 fn main() {
-    let (config, paper_filter) = config_from_args();
-    let papers = selected_publications(&paper_filter);
+    let cli = cli_from_args();
+    let config = &cli.config;
+    let papers = selected_publications(&cli.papers);
     println!(
         "Figure 4: parity vs epsilon  (seeds k={}, draws B={}, scale={})\n",
         config.seeds, config.bootstraps, config.data_scale
     );
-    let mut reports = Vec::new();
-    for paper in papers {
-        match run_paper(paper.as_ref(), &config) {
-            Ok(report) => {
-                println!("  finished {}", report.paper_name);
-                reports.push(report);
+
+    if let Some(shard) = cli.store.shard {
+        let cache = run_shard_mode(&cli, &papers, shard);
+        print_store_summary(&cache);
+        return;
+    }
+
+    let mut reports: Vec<PaperReport> = Vec::new();
+    let cache = if cli.store.merge_shards.is_empty() {
+        let cache = cli.store.open_cache(config);
+        for (name, result) in match &cache {
+            Some(c) => with_cell_store(c, cli.store.resume, |store| {
+                run_grid(&papers, config, Some(store))
+            }),
+            None => run_grid(&papers, config, None),
+        } {
+            match result {
+                Ok(report) => {
+                    println!("  finished {}", report.paper_name);
+                    reports.push(report);
+                }
+                Err(e) => println!("  {name} failed: {e}"),
             }
-            Err(e) => println!("  {} failed: {e}", paper.name()),
+        }
+        cache
+    } else {
+        let (cache, results) = assemble_from_shards(&cli, &papers);
+        for (name, result) in results {
+            match result {
+                Ok(report) => {
+                    println!("  assembled {} from store", report.paper_name);
+                    reports.push(report);
+                }
+                Err(e) => println!("  {name} failed: {e}"),
+            }
+        }
+        Some(cache)
+    };
+
+    let agg = match aggregate(&reports) {
+        Ok(agg) => agg,
+        Err(e) => {
+            eprintln!("aggregation failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("\n{}", render_fig4(&agg));
+
+    // Persist the aggregated series next to the per-paper reports.
+    if let Some(cache) = &cache {
+        let path = cache.root().join("fig4_series.json");
+        if let Err(e) = std::fs::write(&path, agg.to_json_text()) {
+            eprintln!("could not write {}: {e}", path.display());
         }
     }
-    let agg = aggregate(&reports);
-    print!("\n{}", render_fig4(&agg));
 
     // The paper's headline observation: parity is relatively insensitive
     // to epsilon. Report the per-synthesizer spread across the grid.
@@ -43,5 +98,8 @@ fn main() {
         let max = finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let min = finite.iter().cloned().fold(f64::INFINITY, f64::min);
         println!("  {:>10}: {:.3}", kind.name(), max - min);
+    }
+    if let Some(cache) = &cache {
+        print_store_summary(cache);
     }
 }

@@ -15,7 +15,66 @@
 //! benches in `benches/` cover the §7 "computational resources" comparison
 //! and our ablations.
 
-use synrd::benchmark::BenchmarkConfig;
+use std::path::PathBuf;
+use synrd::benchmark::{
+    assemble_report, run_grid_sharded, BenchmarkConfig, CellStore, PaperReport, Shard,
+};
+use synrd::Publication;
+use synrd_store::{merge_shard_dirs, DiskCellCache, WriteOnly};
+
+/// Result-store flags shared by the grid binaries (`fig3`, `fig4`).
+#[derive(Debug, Default)]
+pub struct StoreOptions {
+    /// `--out-dir DIR`: root of the persistent result store.
+    pub out_dir: Option<PathBuf>,
+    /// `--resume`: serve cached cells instead of recomputing them.
+    pub resume: bool,
+    /// `--shard i/n`: compute only this shard of the global cell list.
+    pub shard: Option<Shard>,
+    /// `--merge-shards a,b,c`: union these shard stores into `--out-dir`.
+    pub merge_shards: Vec<PathBuf>,
+}
+
+impl StoreOptions {
+    /// Open the store at `--out-dir` (if given) for `config`, exiting with
+    /// a message on I/O failure.
+    pub fn open_cache(&self, config: &BenchmarkConfig) -> Option<DiskCellCache> {
+        let dir = self.out_dir.as_ref()?;
+        match DiskCellCache::open(dir, config) {
+            Ok(cache) => Some(cache),
+            Err(e) => {
+                eprintln!("cannot open result store {}: {e}", dir.display());
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// Run `body` with the store viewed through `--resume` semantics: with the
+/// flag, cells are served from disk; without it, the cache is write-only
+/// (cells are recomputed and rewritten).
+pub fn with_cell_store<R>(
+    cache: &DiskCellCache,
+    resume: bool,
+    body: impl FnOnce(&dyn CellStore) -> R,
+) -> R {
+    if resume {
+        body(cache)
+    } else {
+        body(&WriteOnly(cache))
+    }
+}
+
+/// Everything the figure binaries take from the command line.
+#[derive(Debug)]
+pub struct CliOptions {
+    /// Grid configuration after flag overrides.
+    pub config: BenchmarkConfig,
+    /// `--papers` filter (empty = all eight).
+    pub papers: Vec<String>,
+    /// Result-store options.
+    pub store: StoreOptions,
+}
 
 /// Parse common CLI flags shared by the figure binaries.
 ///
@@ -24,8 +83,20 @@ use synrd::benchmark::BenchmarkConfig;
 /// * `--papers a,b,c` — restrict to specific paper ids;
 /// * `--seeds K` / `--bootstraps B` / `--scale F` — override grid knobs;
 /// * `--threads N` — worker threads for the grid (1 = sequential; results
-///   are bit-identical either way).
+///   are bit-identical either way);
+/// * `--out-dir DIR` — persist cells/reports into a result store;
+/// * `--resume` — serve already-stored cells instead of refitting;
+/// * `--shard i/n` — compute only shard `i` of `n` (requires `--out-dir`);
+/// * `--merge-shards a,b,c` — union shard stores into `--out-dir` and
+///   assemble reports purely from cached cells.
 pub fn config_from_args() -> (BenchmarkConfig, Vec<String>) {
+    let cli = cli_from_args();
+    (cli.config, cli.papers)
+}
+
+/// Full CLI parse, including the result-store flags (see
+/// [`config_from_args`] for the flag list).
+pub fn cli_from_args() -> CliOptions {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut config = if args.iter().any(|a| a == "--paper-scale") {
         BenchmarkConfig::paper()
@@ -33,6 +104,7 @@ pub fn config_from_args() -> (BenchmarkConfig, Vec<String>) {
         BenchmarkConfig::quick()
     };
     let mut papers: Vec<String> = Vec::new();
+    let mut store = StoreOptions::default();
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -61,10 +133,156 @@ pub fn config_from_args() -> (BenchmarkConfig, Vec<String>) {
                     config.threads = v;
                 }
             }
+            "--out-dir" => {
+                store.out_dir = Some(PathBuf::from(flag_value("--out-dir", it.next())));
+            }
+            "--resume" => {
+                store.resume = true;
+            }
+            "--shard" => {
+                let spec = flag_value("--shard", it.next());
+                store.shard = Some(parse_shard(&spec).unwrap_or_else(|msg| {
+                    eprintln!("bad --shard '{spec}': {msg}");
+                    std::process::exit(2);
+                }));
+            }
+            "--merge-shards" => {
+                store.merge_shards = flag_value("--merge-shards", it.next())
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(PathBuf::from)
+                    .collect();
+            }
             _ => {}
         }
     }
-    (config, papers)
+    if (store.shard.is_some() || !store.merge_shards.is_empty()) && store.out_dir.is_none() {
+        eprintln!("--shard and --merge-shards require --out-dir");
+        std::process::exit(2);
+    }
+    CliOptions {
+        config,
+        papers,
+        store,
+    }
+}
+
+/// `--shard i/n` mode, shared by the grid binaries: open the store, compute
+/// the owned slice of the global cell list, print the partition summary,
+/// and hand back the cache for the final `[store]` line. Exits on failure.
+pub fn run_shard_mode(
+    cli: &CliOptions,
+    papers: &[Box<dyn Publication>],
+    shard: Shard,
+) -> DiskCellCache {
+    let cache = cli
+        .store
+        .open_cache(&cli.config)
+        .expect("--shard requires --out-dir");
+    match with_cell_store(&cache, cli.store.resume, |store| {
+        run_grid_sharded(papers, &cli.config, store, shard)
+    }) {
+        Ok(s) => println!(
+            "shard {}/{}: owned {} of {} cells ({} computed, {} already stored)",
+            shard.index(),
+            shard.count(),
+            s.cells_owned,
+            s.cells_total,
+            s.cells_computed,
+            s.cells_cached
+        ),
+        Err(e) => {
+            eprintln!("shard run failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    cache
+}
+
+/// `--merge-shards` mode, shared by the grid binaries: union the shard
+/// stores into `--out-dir`, then assemble every report purely from cached
+/// cells (no fits), persisting each under `reports/`. Results are paired
+/// with paper names so callers can print-and-continue. Exits when the
+/// merge itself fails.
+#[allow(clippy::type_complexity)] // (name, Result) pairs mirror run_grid's shape
+pub fn assemble_from_shards(
+    cli: &CliOptions,
+    papers: &[Box<dyn Publication>],
+) -> (
+    DiskCellCache,
+    Vec<(&'static str, synrd::Result<PaperReport>)>,
+) {
+    let dest = cli
+        .store
+        .out_dir
+        .clone()
+        .expect("--merge-shards requires --out-dir");
+    let cache = match merge_shard_dirs(&cli.store.merge_shards, &dest, &cli.config) {
+        Ok(cache) => cache,
+        Err(e) => {
+            eprintln!("merging shard stores failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let results = papers
+        .iter()
+        .map(|paper| {
+            let result = assemble_report(paper.as_ref(), &cli.config, &cache);
+            if let Ok(report) = &result {
+                let _ = cache.write_report(report);
+            }
+            (paper.name(), result)
+        })
+        .collect();
+    (cache, results)
+}
+
+/// One-line store/run telemetry: cache counters plus the process-wide grid
+/// fit count. CI's cache end-to-end job greps this for `misses=0` and
+/// `fits=0` on a warm rerun.
+pub fn print_store_summary(cache: &DiskCellCache) {
+    let stats = cache.stats();
+    println!(
+        "[store] dir={} fingerprint={} hits={} misses={} stores={} errors={} fits={}",
+        cache.root().display(),
+        synrd_store::hex16(cache.fingerprint()),
+        stats.hits,
+        stats.misses,
+        stats.stores,
+        stats.errors,
+        synrd::benchmark::fits_performed(),
+    );
+}
+
+/// The value for a store flag that requires one: missing values and values
+/// that look like another flag are user errors, not directory names — both
+/// would otherwise silently disable or misdirect persistence.
+fn flag_value(flag: &str, next: Option<&String>) -> String {
+    match next {
+        Some(v) if !v.starts_with("--") => v.clone(),
+        Some(v) => {
+            eprintln!("{flag} requires a value, but got the flag '{v}'");
+            std::process::exit(2);
+        }
+        None => {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parse `i/n` into a [`Shard`].
+///
+/// # Errors
+/// A human-readable message for malformed specs.
+pub fn parse_shard(spec: &str) -> Result<Shard, String> {
+    let (i, n) = spec
+        .split_once('/')
+        .ok_or_else(|| "expected the form i/n, e.g. 0/3".to_string())?;
+    let index: usize = i.trim().parse().map_err(|_| format!("bad index '{i}'"))?;
+    let count: usize = n.trim().parse().map_err(|_| format!("bad count '{n}'"))?;
+    Shard::new(index, count).map_err(|e| e.to_string())
 }
 
 /// The publications selected by `--papers` (all eight when empty).

@@ -13,9 +13,23 @@ use crate::error::{Result, SynrdError};
 use crate::finding::FindingType;
 use crate::publication::Publication;
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 use synrd_dp::grid_seed;
 use synrd_synth::{SynthError, SynthKind};
+
+/// Process-wide count of synthesizer fits performed by the grid driver.
+///
+/// Purely observational: the determinism/caching tests assert that a
+/// warm-cache rerun performs *zero* fits by reading this counter before and
+/// after a run. Fits performed outside the grid (e.g. `fig1`'s single
+/// visual-finding fit) are not counted.
+static GRID_FITS: AtomicU64 = AtomicU64::new(0);
+
+/// Total synthesizer fits the grid driver has performed in this process.
+pub fn fits_performed() -> u64 {
+    GRID_FITS.load(Ordering::Relaxed)
+}
 
 /// The paper's ε grid: e⁻³, e⁻², e⁻¹, e⁰, e¹, e².
 pub fn paper_epsilons() -> Vec<f64> {
@@ -208,17 +222,97 @@ impl PaperReport {
     }
 }
 
-/// Run the full grid for one publication.
+/// A persistent store the grid driver consults before fitting a cell and
+/// writes back into afterwards.
+///
+/// Implementations (e.g. `synrd-store`'s content-addressed disk cache) are
+/// responsible for keying cells by everything that determines their outcome
+/// *besides* the coordinates passed here — i.e. the [`BenchmarkConfig`]
+/// fingerprint. A cell is a pure function of
+/// `(config fingerprint, paper id, synthesizer, ε)`, so a correct store
+/// makes reruns incremental without changing a single bit of the results.
+///
+/// Both methods are best-effort: `load` returning `None` means "compute it",
+/// and `save` failures must not fail the run (implementations should count
+/// them instead).
+pub trait CellStore: Sync {
+    /// A previously stored outcome for this cell, if any.
+    fn load(&self, paper_id: &str, kind: SynthKind, epsilon: f64) -> Option<CellOutcome>;
+
+    /// Persist a freshly computed outcome for this cell.
+    fn save(&self, paper_id: &str, kind: SynthKind, epsilon: f64, cell: &CellOutcome);
+}
+
+/// One shard of a distributed grid run: this invocation owns every global
+/// cell index `g` with `g % count == index`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    index: usize,
+    count: usize,
+}
+
+impl Shard {
+    /// Shard `index` of `count`.
+    ///
+    /// # Errors
+    /// `count` must be at least 1 and `index < count`.
+    pub fn new(index: usize, count: usize) -> Result<Shard> {
+        if count == 0 || index >= count {
+            return Err(SynrdError::Config(format!(
+                "invalid shard {index}/{count}: need 0 <= index < count"
+            )));
+        }
+        Ok(Shard { index, count })
+    }
+
+    /// This shard's index.
+    pub fn index(self) -> usize {
+        self.index
+    }
+
+    /// Total number of shards.
+    pub fn count(self) -> usize {
+        self.count
+    }
+
+    /// Whether this shard owns global cell index `g`.
+    pub fn owns(self, g: usize) -> bool {
+        g % self.count == self.index
+    }
+}
+
+/// What a sharded run did — how the global cell list split and how much of
+/// this shard's share was already in the store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardSummary {
+    /// Cells in the full (paper × synthesizer × ε) grid.
+    pub cells_total: usize,
+    /// Cells owned by this shard.
+    pub cells_owned: usize,
+    /// Owned cells computed (and stored) by this invocation.
+    pub cells_computed: usize,
+    /// Owned cells already present in the store.
+    pub cells_cached: usize,
+}
+
+/// Per-paper ground truth shared by every execution mode: the generated
+/// real dataset, the findings, and their statistics on the real data.
+struct PaperGround {
+    real: synrd_data::Dataset,
+    findings: Vec<crate::finding::Finding>,
+    real_stats: Vec<Vec<f64>>,
+    n: usize,
+}
+
+/// Generate the real data and evaluate every finding on it.
 ///
 /// # Errors
-/// Fails if a finding cannot be evaluated on the *real* data (that would
-/// make parity meaningless); synthetic-side failures are folded into parity.
-pub fn run_paper(paper: &dyn Publication, config: &BenchmarkConfig) -> Result<PaperReport> {
+/// Every finding must evaluate (finitely) on the real data — a paper whose
+/// ground truth is undefined cannot be scored for parity.
+fn ground_truth(paper: &dyn Publication, config: &BenchmarkConfig) -> Result<PaperGround> {
     let n = config.rows_for(paper.dataset().paper_n());
     let real = paper.generate(n, config.data_seed);
     let findings = paper.findings();
-
-    // Ground truth: every finding must evaluate on real data.
     let mut real_stats = Vec::with_capacity(findings.len());
     for f in &findings {
         let stats = f.evaluate(&real)?;
@@ -230,42 +324,37 @@ pub fn run_paper(paper: &dyn Publication, config: &BenchmarkConfig) -> Result<Pa
         }
         real_stats.push(stats);
     }
+    Ok(PaperGround {
+        real,
+        findings,
+        real_stats,
+        n,
+    })
+}
 
-    // Control row: nonparametric bootstrap of the real data through the
-    // same pipeline (the paper's Bayesian-bootstrap control; see
-    // DESIGN.md §3 for the resampling-vs-weighting note).
-    let control = control_row(paper, &real, &findings, &real_stats, config)?;
-
-    // Cell grid, parallel over (synth, eps) in row-major order. Each cell's
-    // seeds come from its own ChaCha8 keystream, so the schedule cannot
-    // influence the numbers; `config.threads <= 1` forces the sequential
-    // path (used by tests to assert bitwise equality with the parallel one).
-    // A panicking cell is caught and surfaced as a per-paper error so a
-    // multi-paper sweep can keep going (fig3/fig4 print-and-continue).
-    let grid: Vec<(usize, usize)> = (0..config.synthesizers.len())
-        .flat_map(|s| (0..config.epsilons.len()).map(move |e| (s, e)))
-        .collect();
-    let paper_id = paper.dataset().id();
-    let cell = |&(s_idx, e_idx): &(usize, usize)| -> CellOutcome {
-        run_cell(
-            paper_id,
-            &real,
-            &findings,
-            &real_stats,
-            config,
-            config.synthesizers[s_idx],
-            config.epsilons[e_idx],
-        )
-    };
-    let outcomes: Vec<CellOutcome> = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+/// Execute `f` over `coords`, parallel when `config.threads > 1`, containing
+/// worker panics as a per-paper error so a multi-paper sweep can keep going
+/// (fig3/fig4 print-and-continue). Each cell's seeds come from its own
+/// ChaCha8 keystream, so the schedule cannot influence the numbers;
+/// `config.threads <= 1` forces the sequential path (used by tests to
+/// assert bitwise equality with the parallel one).
+fn execute_cells<F>(
+    coords: &[(usize, usize)],
+    config: &BenchmarkConfig,
+    f: F,
+) -> Result<Vec<CellOutcome>>
+where
+    F: Fn(&(usize, usize)) -> CellOutcome + Sync,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         if config.threads > 1 {
             rayon::ThreadPoolBuilder::new()
                 .num_threads(config.threads)
                 .build()
                 .expect("thread pool construction cannot fail")
-                .install(|| grid.par_iter().map(cell).collect())
+                .install(|| coords.par_iter().map(&f).collect())
         } else {
-            grid.iter().map(cell).collect()
+            coords.iter().map(&f).collect()
         }
     }))
     .map_err(|payload| {
@@ -275,26 +364,207 @@ pub fn run_paper(paper: &dyn Publication, config: &BenchmarkConfig) -> Result<Pa
             .or_else(|| payload.downcast_ref::<String>().cloned())
             .unwrap_or_else(|| "non-string panic payload".to_string());
         SynrdError::Config(format!("worker thread panicked: {detail}"))
-    })?;
-    let cells: Vec<Vec<CellOutcome>> = if config.epsilons.is_empty() {
+    })
+}
+
+/// The full (synth, ε) coordinate list in row-major order.
+fn full_grid(config: &BenchmarkConfig) -> Vec<(usize, usize)> {
+    (0..config.synthesizers.len())
+        .flat_map(|s| (0..config.epsilons.len()).map(move |e| (s, e)))
+        .collect()
+}
+
+/// Shape row-major outcomes into the `cells[synth][eps]` matrix.
+fn into_rows(outcomes: Vec<CellOutcome>, config: &BenchmarkConfig) -> Vec<Vec<CellOutcome>> {
+    if config.epsilons.is_empty() {
         vec![Vec::new(); config.synthesizers.len()]
     } else {
         outcomes
             .chunks(config.epsilons.len())
             .map(<[CellOutcome]>::to_vec)
             .collect()
-    };
+    }
+}
 
-    Ok(PaperReport {
-        paper_id,
+fn report_from(
+    paper: &dyn Publication,
+    config: &BenchmarkConfig,
+    ground: &PaperGround,
+    control: Vec<f64>,
+    cells: Vec<Vec<CellOutcome>>,
+) -> PaperReport {
+    PaperReport {
+        paper_id: paper.dataset().id(),
         paper_name: paper.name(),
-        findings: findings.iter().map(|f| (f.id, f.name, f.kind)).collect(),
+        findings: ground
+            .findings
+            .iter()
+            .map(|f| (f.id, f.name, f.kind))
+            .collect(),
         epsilons: config.epsilons.clone(),
         synthesizers: config.synthesizers.clone(),
         cells,
         control,
-        n_rows: n,
-    })
+        n_rows: ground.n,
+    }
+}
+
+/// Run the full grid for one publication.
+///
+/// # Errors
+/// Fails if a finding cannot be evaluated on the *real* data (that would
+/// make parity meaningless); synthetic-side failures are folded into parity.
+pub fn run_paper(paper: &dyn Publication, config: &BenchmarkConfig) -> Result<PaperReport> {
+    run_paper_with(paper, config, None)
+}
+
+/// [`run_paper`] with an optional persistent cell store: each cell is looked
+/// up before fitting and written back after. Results are bit-identical with
+/// and without a store — every cell is a pure function of
+/// `(master seed, paper, synthesizer, ε)` via [`synrd_dp::grid_seed`].
+///
+/// # Errors
+/// Same contract as [`run_paper`].
+pub fn run_paper_with(
+    paper: &dyn Publication,
+    config: &BenchmarkConfig,
+    store: Option<&dyn CellStore>,
+) -> Result<PaperReport> {
+    let ground = ground_truth(paper, config)?;
+
+    // Control row: nonparametric bootstrap of the real data through the
+    // same pipeline (the paper's Bayesian-bootstrap control; see
+    // DESIGN.md §3 for the resampling-vs-weighting note).
+    let control = control_row(paper, &ground, config)?;
+
+    let grid = full_grid(config);
+    let paper_id = paper.dataset().id();
+    let cell = |&(s_idx, e_idx): &(usize, usize)| -> CellOutcome {
+        let kind = config.synthesizers[s_idx];
+        let epsilon = config.epsilons[e_idx];
+        if let Some(st) = store {
+            if let Some(hit) = st.load(paper_id, kind, epsilon) {
+                return hit;
+            }
+        }
+        let out = run_cell(paper_id, &ground, config, kind, epsilon);
+        if let Some(st) = store {
+            st.save(paper_id, kind, epsilon, &out);
+        }
+        out
+    };
+    let outcomes = execute_cells(&grid, config, cell)?;
+    let cells = into_rows(outcomes, config);
+    Ok(report_from(paper, config, &ground, control, cells))
+}
+
+/// Run every paper in order through [`run_paper_with`], pairing each result
+/// with the paper's display name so sweeps can print-and-continue.
+pub fn run_grid(
+    papers: &[Box<dyn Publication>],
+    config: &BenchmarkConfig,
+    store: Option<&dyn CellStore>,
+) -> Vec<(&'static str, Result<PaperReport>)> {
+    papers
+        .iter()
+        .map(|p| (p.name(), run_paper_with(p.as_ref(), config, store)))
+        .collect()
+}
+
+/// Compute (and persist) only the cells owned by `shard` out of the global
+/// (paper × synthesizer × ε) cell list, in the fixed order given by
+/// `papers`. Owned cells already present in the store are not recomputed.
+///
+/// Global cell indices are
+/// `paper_index · (S·E) + synth_index · E + eps_index`, so the partition is
+/// a pure function of `(shard, papers order, config shape)`: every cell is
+/// owned by exactly one of the `n` shards, and merging the `n` shard stores
+/// yields the complete grid (see `synrd-store`'s merge + `assemble_report`).
+///
+/// # Errors
+/// Ground-truth failures propagate, as do worker panics.
+pub fn run_grid_sharded(
+    papers: &[Box<dyn Publication>],
+    config: &BenchmarkConfig,
+    store: &dyn CellStore,
+    shard: Shard,
+) -> Result<ShardSummary> {
+    let per_paper = config.synthesizers.len() * config.epsilons.len();
+    let mut summary = ShardSummary {
+        cells_total: per_paper * papers.len(),
+        ..ShardSummary::default()
+    };
+    for (p_idx, paper) in papers.iter().enumerate() {
+        let paper_id = paper.dataset().id();
+        let owned: Vec<(usize, usize)> = full_grid(config)
+            .into_iter()
+            .filter(|&(s, e)| shard.owns(p_idx * per_paper + s * config.epsilons.len() + e))
+            .collect();
+        let owned_count = owned.len();
+        summary.cells_owned += owned_count;
+        let todo: Vec<(usize, usize)> = owned
+            .into_iter()
+            .filter(|&(s, e)| {
+                store
+                    .load(paper_id, config.synthesizers[s], config.epsilons[e])
+                    .is_none()
+            })
+            .collect();
+        summary.cells_cached += owned_count - todo.len();
+        if todo.is_empty() {
+            continue;
+        }
+        // Data generation and ground truth are only paid for papers that
+        // actually have work in this shard.
+        let ground = ground_truth(paper.as_ref(), config)?;
+        let cell = |&(s_idx, e_idx): &(usize, usize)| -> CellOutcome {
+            let kind = config.synthesizers[s_idx];
+            let epsilon = config.epsilons[e_idx];
+            let out = run_cell(paper_id, &ground, config, kind, epsilon);
+            store.save(paper_id, kind, epsilon, &out);
+            out
+        };
+        let computed = execute_cells(&todo, config, cell)?;
+        summary.cells_computed += computed.len();
+    }
+    Ok(summary)
+}
+
+/// Rebuild a full [`PaperReport`] purely from stored cells plus the
+/// (deterministic, fit-free) ground truth and control row — the merge step
+/// after sharded runs. Bit-identical to a monolithic [`run_paper`] under
+/// the same config.
+///
+/// # Errors
+/// Every cell of the grid must be present in the store; a missing cell
+/// names its coordinates (usually a shard that has not run or a config
+/// fingerprint mismatch).
+pub fn assemble_report(
+    paper: &dyn Publication,
+    config: &BenchmarkConfig,
+    store: &dyn CellStore,
+) -> Result<PaperReport> {
+    let ground = ground_truth(paper, config)?;
+    let control = control_row(paper, &ground, config)?;
+    let paper_id = paper.dataset().id();
+    let mut cells: Vec<Vec<CellOutcome>> = Vec::with_capacity(config.synthesizers.len());
+    for &kind in &config.synthesizers {
+        let mut row = Vec::with_capacity(config.epsilons.len());
+        for &epsilon in &config.epsilons {
+            let cell = store.load(paper_id, kind, epsilon).ok_or_else(|| {
+                SynrdError::Config(format!(
+                    "cell missing from store: {paper_id} / {} / eps={epsilon} \
+                     (did every shard run under this exact config? note that \
+                     timed-out cells are never persisted — rerun the owning \
+                     shard with a larger fit budget)",
+                    kind.name()
+                ))
+            })?;
+            row.push(cell);
+        }
+        cells.push(row);
+    }
+    Ok(report_from(paper, config, &ground, control, cells))
 }
 
 /// One (synthesizer, ε) cell: k fits × B draws.
@@ -305,13 +575,17 @@ pub fn run_paper(paper: &dyn Publication, config: &BenchmarkConfig) -> Result<Pa
 /// seed is shared across cells.
 fn run_cell(
     paper_id: &str,
-    real: &synrd_data::Dataset,
-    findings: &[crate::finding::Finding],
-    real_stats: &[Vec<f64>],
+    ground: &PaperGround,
     config: &BenchmarkConfig,
     kind: SynthKind,
     epsilon: f64,
 ) -> CellOutcome {
+    let PaperGround {
+        real,
+        findings,
+        real_stats,
+        ..
+    } = ground;
     // The paper: "PrivMRF was too slow to be viable; we report results only
     // for ε = e⁰".
     if config.restrict_privmrf && kind == SynthKind::PrivMrf && (epsilon - 1.0).abs() > 1e-9 {
@@ -331,6 +605,7 @@ fn run_cell(
             seed_idx as u64,
         );
         let started = Instant::now();
+        GRID_FITS.fetch_add(1, Ordering::Relaxed);
         match synth.fit(real, privacy, fit_seed) {
             Ok(()) => {}
             Err(SynthError::Infeasible { reason }) => {
@@ -410,11 +685,15 @@ fn run_cell(
 /// The "real, bootstrap" control row.
 fn control_row(
     _paper: &dyn Publication,
-    real: &synrd_data::Dataset,
-    findings: &[crate::finding::Finding],
-    real_stats: &[Vec<f64>],
+    ground: &PaperGround,
     config: &BenchmarkConfig,
 ) -> Result<Vec<f64>> {
+    let PaperGround {
+        real,
+        findings,
+        real_stats,
+        ..
+    } = ground;
     let replicates = (config.bootstraps * config.seeds.max(1)).max(10);
     let mut rng = synrd_dp::rng_for(config.data_seed, "bootstrap-control");
     let mut holds = vec![0.0f64; findings.len()];

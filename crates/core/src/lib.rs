@@ -39,7 +39,9 @@ pub mod report;
 pub mod visual;
 
 pub use benchmark::{
-    paper_epsilons, run_paper, BenchmarkConfig, CellOutcome, CellStatus, PaperReport,
+    assemble_report, fits_performed, paper_epsilons, run_grid, run_grid_sharded, run_paper,
+    run_paper_with, BenchmarkConfig, CellOutcome, CellStatus, CellStore, PaperReport, Shard,
+    ShardSummary,
 };
 pub use error::{Result, SynrdError};
 pub use finding::{Check, Finding, FindingType};

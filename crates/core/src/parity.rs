@@ -2,6 +2,7 @@
 //! (mean parity vs ε and mean parity-variance vs ε, per synthesizer).
 
 use crate::benchmark::{CellStatus, PaperReport};
+use crate::error::{Result, SynrdError};
 use synrd_synth::SynthKind;
 
 /// Aggregated series per synthesizer across papers.
@@ -16,14 +17,43 @@ pub struct AggregateSeries {
 }
 
 /// Average Figure 3 cells over findings and papers into Figure 4 series.
-pub fn aggregate(reports: &[PaperReport]) -> AggregateSeries {
+///
+/// # Errors
+/// Every report must share the first report's ε grid (bit-for-bit) and
+/// synthesizer ordering — cells are indexed positionally, so averaging
+/// heterogeneous grids would silently mix unrelated (synthesizer, ε)
+/// coordinates. A mismatching report yields [`SynrdError::Config`] naming
+/// the offending paper.
+pub fn aggregate(reports: &[PaperReport]) -> Result<AggregateSeries> {
     let Some(first) = reports.first() else {
-        return AggregateSeries {
+        return Ok(AggregateSeries {
             epsilons: Vec::new(),
             parity: Vec::new(),
             variance: Vec::new(),
-        };
+        });
     };
+    for report in &reports[1..] {
+        if report.epsilons.len() != first.epsilons.len()
+            || report
+                .epsilons
+                .iter()
+                .zip(&first.epsilons)
+                .any(|(a, b)| a.to_bits() != b.to_bits())
+        {
+            return Err(SynrdError::Config(format!(
+                "aggregate: report '{}' uses a different epsilon grid than '{}' \
+                 ({:?} vs {:?})",
+                report.paper_id, first.paper_id, report.epsilons, first.epsilons
+            )));
+        }
+        if report.synthesizers != first.synthesizers {
+            return Err(SynrdError::Config(format!(
+                "aggregate: report '{}' uses a different synthesizer set/order than '{}' \
+                 ({:?} vs {:?})",
+                report.paper_id, first.paper_id, report.synthesizers, first.synthesizers
+            )));
+        }
+    }
     let epsilons = first.epsilons.clone();
     let synths = first.synthesizers.clone();
     let mut parity = Vec::with_capacity(synths.len());
@@ -58,11 +88,11 @@ pub fn aggregate(reports: &[PaperReport]) -> AggregateSeries {
         parity.push((kind, p_series));
         variance.push((kind, v_series));
     }
-    AggregateSeries {
+    Ok(AggregateSeries {
         epsilons,
         parity,
         variance,
-    }
+    })
 }
 
 /// Per-paper mean parity for one synthesizer across ε (Figure 3 block
@@ -153,11 +183,36 @@ mod tests {
     fn aggregate_averages_over_findings_and_papers() {
         let r1 = toy_report(vec![vec![1.0, 0.0], vec![0.5, 0.5]]);
         let r2 = toy_report(vec![vec![0.0, 1.0], vec![0.5, 0.5]]);
-        let agg = aggregate(&[r1, r2]);
+        let agg = aggregate(&[r1, r2]).unwrap();
         assert_eq!(agg.parity.len(), 1);
         let series = &agg.parity[0].1;
         assert!((series[0] - 0.5).abs() < 1e-12);
         assert!((series[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_rejects_heterogeneous_epsilon_grids() {
+        // Same shape, different ε values: positional averaging would mix
+        // ε=1 cells with ε=7 cells — must be an error, not a silent blend.
+        let r1 = toy_report(vec![vec![1.0, 0.0], vec![0.5, 0.5]]);
+        let mut r2 = toy_report(vec![vec![0.0, 1.0], vec![0.5, 0.5]]);
+        r2.epsilons[1] += 5.0;
+        let err = aggregate(&[r1.clone(), r2]).expect_err("mismatched grids must fail");
+        assert!(err.to_string().contains("epsilon grid"), "{err}");
+
+        // Different grid lengths likewise.
+        let r3 = toy_report(vec![vec![0.0, 1.0]]);
+        let err = aggregate(&[r1, r3]).expect_err("mismatched lengths must fail");
+        assert!(err.to_string().contains("epsilon grid"), "{err}");
+    }
+
+    #[test]
+    fn aggregate_rejects_heterogeneous_synthesizer_order() {
+        let r1 = toy_report(vec![vec![1.0, 0.0], vec![0.5, 0.5]]);
+        let mut r2 = toy_report(vec![vec![0.0, 1.0], vec![0.5, 0.5]]);
+        r2.synthesizers = vec![synrd_synth::SynthKind::Gem];
+        let err = aggregate(&[r1, r2]).expect_err("mismatched synthesizers must fail");
+        assert!(err.to_string().contains("synthesizer"), "{err}");
     }
 
     #[test]
@@ -178,7 +233,7 @@ mod tests {
 
     #[test]
     fn aggregate_empty_is_empty() {
-        let agg = aggregate(&[]);
+        let agg = aggregate(&[]).unwrap();
         assert!(agg.parity.is_empty());
         assert!(agg.epsilons.is_empty());
     }

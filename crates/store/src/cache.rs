@@ -1,0 +1,504 @@
+//! The content-addressed on-disk cell cache and shard-directory merging.
+//!
+//! Layout of a store directory (`--out-dir`):
+//!
+//! ```text
+//! out-dir/
+//!   config.json            last-used BenchmarkConfig + its fingerprint
+//!   cells/<digest16>.json  one (paper, synthesizer, ε) cell outcome each
+//!   reports/<paper>.json   assembled PaperReports (written by fig3/fig4)
+//! ```
+//!
+//! Each cell file is addressed by the FNV-1a digest of
+//! `(config fingerprint, paper id, synthesizer, ε bits)` and embeds that
+//! key block verbatim, so a load verifies the key before trusting the
+//! payload — a digest collision or a stale file degrades to a cache miss,
+//! never to wrong numbers. Changing any fingerprinted config knob (seeds,
+//! bootstraps, data scale/floor, master seed, fit timeout, the PrivMRF
+//! restriction) changes every digest, so stale cells are simply never
+//! consulted again; `threads` and the ε/synthesizer lists are deliberately
+//! *not* fingerprinted because they do not affect any single cell's value.
+//!
+//! One status is deliberately **not** persisted: `TimedOut`. The paper's
+//! wall-clock fit budget makes that verdict a property of the machine that
+//! ran the cell, not of the cell key, so caching it would freeze one
+//! machine's give-up into every future run.
+
+use crate::codec::JsonCodec;
+use crate::digest::{hex16, Fnv1a};
+use crate::json::JsonValue;
+use crate::parse::parse;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use synrd::benchmark::{BenchmarkConfig, CellOutcome, CellStatus, CellStore, PaperReport};
+use synrd_synth::SynthKind;
+
+/// Version tag mixed into every fingerprint; bump when cell semantics
+/// change so old stores invalidate wholesale.
+const FINGERPRINT_VERSION: u64 = 1;
+
+/// Digest of every config knob that can change a cell's outcome.
+///
+/// Floats are fingerprinted by bit pattern, so "the same config" means
+/// bit-identical knobs, matching the grid's bitwise determinism contract.
+pub fn config_fingerprint(config: &BenchmarkConfig) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(FINGERPRINT_VERSION)
+        .write_u64(config.seeds as u64)
+        .write_u64(config.bootstraps as u64)
+        .write_u64(config.data_scale.to_bits())
+        .write_u64(config.min_rows as u64)
+        .write_u64(config.data_seed);
+    match config.fit_timeout {
+        None => h.write_u64(0).write_u64(0),
+        Some(d) => h.write_u64(1).write_u64(d.as_nanos() as u64),
+    };
+    h.write_u64(u64::from(config.restrict_privmrf));
+    h.finish()
+}
+
+/// Content address of one cell: `(fingerprint, paper, synthesizer, ε bits)`.
+pub fn cell_digest(fingerprint: u64, paper_id: &str, synth: &str, epsilon: f64) -> u64 {
+    Fnv1a::new()
+        .write_u64(fingerprint)
+        .write_str(paper_id)
+        .write_str(synth)
+        .write_u64(epsilon.to_bits())
+        .finish()
+}
+
+/// Load/store/error counters for one cache handle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Loads served from disk.
+    pub hits: u64,
+    /// Loads that found no usable file (including key-mismatch rejects).
+    pub misses: u64,
+    /// Cells written.
+    pub stores: u64,
+    /// I/O or decode failures (each also counts as a miss on the load path).
+    pub errors: u64,
+}
+
+/// A content-addressed cell cache rooted at one store directory.
+///
+/// Cheap to open, safe to share across rayon workers (`&self` everywhere,
+/// atomic counters), and safe against concurrent writers of the *same*
+/// cell: writes go to a unique temp file and are `rename`d into place.
+#[derive(Debug)]
+pub struct DiskCellCache {
+    root: PathBuf,
+    fingerprint: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl DiskCellCache {
+    /// Open (creating if needed) the store at `root` for `config`.
+    ///
+    /// Records the config (and its fingerprint) in `config.json` for humans
+    /// and tooling; cells from other fingerprints may coexist in the same
+    /// directory and are simply never matched.
+    ///
+    /// # Errors
+    /// Directory creation or the config write failing.
+    pub fn open(root: impl Into<PathBuf>, config: &BenchmarkConfig) -> io::Result<DiskCellCache> {
+        let root = root.into();
+        fs::create_dir_all(root.join("cells"))?;
+        fs::create_dir_all(root.join("reports"))?;
+        let fingerprint = config_fingerprint(config);
+        let doc = JsonValue::obj(vec![
+            ("fingerprint", JsonValue::Str(hex16(fingerprint))),
+            ("config", config.to_json()),
+        ]);
+        write_atomic(&root.join("config.json"), doc.to_text().as_bytes())?;
+        Ok(DiskCellCache {
+            root,
+            fingerprint,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The fingerprint cells are being keyed under.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Counters since this handle was opened.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    fn cell_path(&self, digest: u64) -> PathBuf {
+        self.root
+            .join("cells")
+            .join(format!("{}.json", hex16(digest)))
+    }
+
+    fn key_block(&self, paper_id: &str, synth: &str, epsilon: f64) -> JsonValue {
+        JsonValue::obj(vec![
+            ("fingerprint", JsonValue::Str(hex16(self.fingerprint))),
+            ("paper", JsonValue::Str(paper_id.to_string())),
+            ("synth", JsonValue::Str(synth.to_string())),
+            ("epsilon_bits", JsonValue::Str(hex16(epsilon.to_bits()))),
+            ("epsilon", JsonValue::Num(epsilon)),
+        ])
+    }
+
+    /// Copy every cell file from another store directory that is not
+    /// already present here — the shard-merge primitive. Returns how many
+    /// files were copied.
+    ///
+    /// # Errors
+    /// I/O failures reading the source or writing the destination.
+    pub fn merge_from(&self, other_root: &Path) -> io::Result<usize> {
+        let src = other_root.join("cells");
+        let mut copied = 0usize;
+        for entry in fs::read_dir(&src)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            if entry.path().extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            let dest = self.root.join("cells").join(&name);
+            if dest.exists() {
+                continue;
+            }
+            let bytes = fs::read(entry.path())?;
+            write_atomic(&dest, &bytes)?;
+            copied += 1;
+        }
+        Ok(copied)
+    }
+
+    /// Persist an assembled report under `reports/<paper_id>.json`.
+    ///
+    /// # Errors
+    /// I/O failures.
+    pub fn write_report(&self, report: &PaperReport) -> io::Result<PathBuf> {
+        let path = self
+            .root
+            .join("reports")
+            .join(format!("{}.json", report.paper_id));
+        write_atomic(&path, report.to_json_text().as_bytes())?;
+        Ok(path)
+    }
+
+    /// Read back a previously written report, if present and decodable.
+    pub fn read_report(&self, paper_id: &str) -> Option<PaperReport> {
+        let path = self.root.join("reports").join(format!("{paper_id}.json"));
+        let text = fs::read_to_string(path).ok()?;
+        PaperReport::from_json_text(&text).ok()
+    }
+}
+
+impl CellStore for DiskCellCache {
+    fn load(&self, paper_id: &str, kind: SynthKind, epsilon: f64) -> Option<CellOutcome> {
+        let digest = cell_digest(self.fingerprint, paper_id, kind.name(), epsilon);
+        let path = self.cell_path(digest);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        let decoded = parse(&text).ok().and_then(|doc| {
+            // Verify the embedded key before trusting the payload: a digest
+            // collision or hand-edited file degrades to a miss.
+            let expected = self.key_block(paper_id, kind.name(), epsilon);
+            if doc.get("key") != Some(&expected) {
+                return None;
+            }
+            CellOutcome::from_json(doc.get("cell")?).ok()
+        });
+        match decoded {
+            Some(cell) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(cell)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn save(&self, paper_id: &str, kind: SynthKind, epsilon: f64, cell: &CellOutcome) {
+        // A TimedOut crosshatch is a wall-clock observation of *this*
+        // machine, not a pure function of the cache key — persisting it
+        // would serve a slow machine's give-up verdict to every future
+        // (possibly faster) run under the same fingerprint. Leave it
+        // uncached so reruns re-attempt the fit.
+        if cell.status == CellStatus::TimedOut {
+            return;
+        }
+        let digest = cell_digest(self.fingerprint, paper_id, kind.name(), epsilon);
+        let doc = JsonValue::obj(vec![
+            ("key", self.key_block(paper_id, kind.name(), epsilon)),
+            ("cell", cell.to_json()),
+        ]);
+        match write_atomic(&self.cell_path(digest), doc.to_text().as_bytes()) {
+            Ok(()) => {
+                self.stores.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                // Best-effort by contract: a failed save must not fail the
+                // run, the cell just will not be cached.
+                self.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// A store adapter that never serves loads — used by the binaries when
+/// `--out-dir` is given without `--resume`: cells are recomputed and
+/// (re)written, but never read back.
+pub struct WriteOnly<'a>(pub &'a DiskCellCache);
+
+impl CellStore for WriteOnly<'_> {
+    fn load(&self, _paper_id: &str, _kind: SynthKind, _epsilon: f64) -> Option<CellOutcome> {
+        None
+    }
+
+    fn save(&self, paper_id: &str, kind: SynthKind, epsilon: f64, cell: &CellOutcome) {
+        self.0.save(paper_id, kind, epsilon, cell);
+    }
+}
+
+/// Merge several shard store directories into `dest` (opened for `config`)
+/// and return the merged store, ready for
+/// [`synrd::benchmark::assemble_report`].
+///
+/// # Errors
+/// I/O failures; a shard directory without a `cells/` subdirectory is an
+/// error (it was not produced by a sharded run).
+pub fn merge_shard_dirs(
+    shards: &[PathBuf],
+    dest: &Path,
+    config: &BenchmarkConfig,
+) -> io::Result<DiskCellCache> {
+    let merged = DiskCellCache::open(dest, config)?;
+    for shard in shards {
+        merged.merge_from(shard)?;
+    }
+    Ok(merged)
+}
+
+/// Write `bytes` to `path` atomically-with-respect-to-readers: a unique
+/// temp file in the same directory, then `rename` into place.
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let mut tmp_name = path
+        .file_name()
+        .map(|f| f.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "file".to_string());
+    tmp_name.push_str(&format!(".tmp.{}.{n}", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+    fs::write(&tmp, bytes)?;
+    match fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synrd::benchmark::CellStatus;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("synrd-store-unit-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn cell(parity: Vec<f64>) -> CellOutcome {
+        CellOutcome {
+            seed_variance: vec![0.0; parity.len()],
+            parity,
+            status: CellStatus::Ok,
+            fit_seconds: 0.5,
+        }
+    }
+
+    #[test]
+    fn save_then_load_roundtrips_bitwise() {
+        let dir = tmp_dir("roundtrip");
+        let config = BenchmarkConfig::quick();
+        let cache = DiskCellCache::open(&dir, &config).unwrap();
+        let c = cell(vec![1.0, f64::NAN, 0.25]);
+
+        assert!(cache.load("saw2018", SynthKind::Mst, 1.0).is_none());
+        cache.save("saw2018", SynthKind::Mst, 1.0, &c);
+        let back = cache.load("saw2018", SynthKind::Mst, 1.0).unwrap();
+        assert!(back.bitwise_eq(&c));
+
+        // Other coordinates do not alias.
+        assert!(cache.load("saw2018", SynthKind::Gem, 1.0).is_none());
+        assert!(cache.load("saw2018", SynthKind::Mst, 2.0).is_none());
+        assert!(cache.load("lee2021", SynthKind::Mst, 1.0).is_none());
+
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.stores, 1);
+        assert_eq!(stats.misses, 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn config_change_invalidates_cells() {
+        let dir = tmp_dir("invalidate");
+        let config = BenchmarkConfig::quick();
+        let cache = DiskCellCache::open(&dir, &config).unwrap();
+        cache.save("saw2018", SynthKind::Mst, 1.0, &cell(vec![1.0]));
+
+        let mut changed = BenchmarkConfig::quick();
+        changed.seeds += 1;
+        let cache2 = DiskCellCache::open(&dir, &changed).unwrap();
+        assert_ne!(cache.fingerprint(), cache2.fingerprint());
+        assert!(
+            cache2.load("saw2018", SynthKind::Mst, 1.0).is_none(),
+            "a changed config must not see old cells"
+        );
+        // threads is scheduling-only and must NOT invalidate.
+        let mut threads_only = BenchmarkConfig::quick();
+        threads_only.threads = 1;
+        let cache3 = DiskCellCache::open(&dir, &threads_only).unwrap();
+        assert_eq!(cache.fingerprint(), cache3.fingerprint());
+        assert!(cache3.load("saw2018", SynthKind::Mst, 1.0).is_some());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_or_mismatched_files_degrade_to_misses() {
+        let dir = tmp_dir("corrupt");
+        let config = BenchmarkConfig::quick();
+        let cache = DiskCellCache::open(&dir, &config).unwrap();
+        cache.save("saw2018", SynthKind::Mst, 1.0, &cell(vec![1.0]));
+        let digest = cell_digest(cache.fingerprint(), "saw2018", "MST", 1.0);
+        let path = cache.cell_path(digest);
+
+        fs::write(&path, b"{not json").unwrap();
+        assert!(cache.load("saw2018", SynthKind::Mst, 1.0).is_none());
+
+        // Valid JSON, wrong key block (as if a digest collision happened).
+        let foreign = JsonValue::obj(vec![
+            ("key", cache.key_block("other-paper", "MST", 1.0)),
+            ("cell", cell(vec![0.0]).to_json()),
+        ]);
+        fs::write(&path, foreign.to_text()).unwrap();
+        assert!(cache.load("saw2018", SynthKind::Mst, 1.0).is_none());
+        assert!(cache.stats().errors >= 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn merge_unions_shard_directories() {
+        let config = BenchmarkConfig::quick();
+        let d1 = tmp_dir("merge-1");
+        let d2 = tmp_dir("merge-2");
+        let dm = tmp_dir("merge-dest");
+        let s1 = DiskCellCache::open(&d1, &config).unwrap();
+        let s2 = DiskCellCache::open(&d2, &config).unwrap();
+        s1.save("saw2018", SynthKind::Mst, 1.0, &cell(vec![1.0]));
+        s1.save("saw2018", SynthKind::Mst, 2.0, &cell(vec![0.5]));
+        s2.save("saw2018", SynthKind::Gem, 1.0, &cell(vec![0.0]));
+        // Overlap: both shards have this cell; merge keeps the first copy.
+        s2.save("saw2018", SynthKind::Mst, 1.0, &cell(vec![1.0]));
+
+        let merged = merge_shard_dirs(&[d1.clone(), d2.clone()], &dm, &config).unwrap();
+        assert!(merged.load("saw2018", SynthKind::Mst, 1.0).is_some());
+        assert!(merged.load("saw2018", SynthKind::Mst, 2.0).is_some());
+        assert!(merged.load("saw2018", SynthKind::Gem, 1.0).is_some());
+        for d in [d1, d2, dm] {
+            fs::remove_dir_all(&d).unwrap();
+        }
+    }
+
+    #[test]
+    fn timed_out_cells_are_never_persisted() {
+        let dir = tmp_dir("timeout");
+        let config = BenchmarkConfig::quick();
+        let cache = DiskCellCache::open(&dir, &config).unwrap();
+        let timed_out = CellOutcome {
+            parity: vec![f64::NAN],
+            seed_variance: vec![f64::NAN],
+            status: CellStatus::TimedOut,
+            fit_seconds: 301.0,
+        };
+        cache.save("saw2018", SynthKind::Mst, 1.0, &timed_out);
+        assert_eq!(cache.stats().stores, 0);
+        assert!(
+            cache.load("saw2018", SynthKind::Mst, 1.0).is_none(),
+            "a wall-clock give-up must not be served to future runs"
+        );
+        // Every other unavailable status IS deterministic and is cached.
+        let skipped = CellOutcome {
+            parity: vec![f64::NAN],
+            seed_variance: vec![f64::NAN],
+            status: CellStatus::Skipped,
+            fit_seconds: 0.0,
+        };
+        cache.save("saw2018", SynthKind::PrivMrf, 2.0, &skipped);
+        assert!(cache.load("saw2018", SynthKind::PrivMrf, 2.0).is_some());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_only_never_serves_loads() {
+        let dir = tmp_dir("write-only");
+        let config = BenchmarkConfig::quick();
+        let cache = DiskCellCache::open(&dir, &config).unwrap();
+        let wo = WriteOnly(&cache);
+        wo.save("saw2018", SynthKind::Mst, 1.0, &cell(vec![1.0]));
+        assert!(wo.load("saw2018", SynthKind::Mst, 1.0).is_none());
+        assert!(cache.load("saw2018", SynthKind::Mst, 1.0).is_some());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn report_persistence_roundtrips() {
+        let dir = tmp_dir("reports");
+        let config = BenchmarkConfig::quick();
+        let cache = DiskCellCache::open(&dir, &config).unwrap();
+        let report = PaperReport {
+            paper_id: "toy",
+            paper_name: "Toy et al.",
+            findings: vec![(1, "f1", synrd::finding::FindingType::DescriptiveStatistics)],
+            epsilons: vec![1.0],
+            synthesizers: vec![SynthKind::Mst],
+            cells: vec![vec![cell(vec![0.75])]],
+            control: vec![1.0],
+            n_rows: 100,
+        };
+        cache.write_report(&report).unwrap();
+        let back = cache.read_report("toy").unwrap();
+        assert!(back.bitwise_eq(&report));
+        assert!(cache.read_report("missing").is_none());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,40 @@
+//! A tiny global string interner.
+//!
+//! [`synrd::PaperReport`] carries `&'static str` names (paper ids, finding
+//! names) because in-process they come from the compiled-in registry.
+//! Deserializing a report from disk has no registry entry to point at, so
+//! the codec interns the parsed strings: each distinct string is leaked
+//! exactly once and every later request returns the same `&'static str`.
+//! The set of distinct names in any store is small and fixed (it mirrors
+//! the registry), so the leak is bounded.
+
+use std::collections::HashSet;
+use std::sync::{Mutex, OnceLock};
+
+static TABLE: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+
+/// The canonical `&'static str` for `s`, leaking it on first sight.
+pub fn intern(s: &str) -> &'static str {
+    let table = TABLE.get_or_init(|| Mutex::new(HashSet::new()));
+    let mut guard = table.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(&hit) = guard.get(s) {
+        return hit;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    guard.insert(leaked);
+    leaked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_pointer_stable() {
+        let a = intern("synrd-intern-test-string");
+        let b = intern(&String::from("synrd-intern-test-string"));
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a, b), "same allocation for equal strings");
+        assert_eq!(intern(""), "");
+    }
+}

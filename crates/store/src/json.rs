@@ -1,0 +1,242 @@
+//! The canonical JSON document model and writer.
+//!
+//! The build environment has no crates.io access, so this is a hand-rolled,
+//! dependency-free stand-in for serde_json — deliberately minimal, but with
+//! two properties serde_json does not give us out of the box:
+//!
+//! * **Canonical output.** The writer is compact (no whitespace), object
+//!   fields keep their construction order (every codec in this crate emits
+//!   a fixed field order), and every scalar has exactly one rendering — so
+//!   equal values always serialize to equal bytes, which is what lets the
+//!   cell cache be content-addressed and the round-trip proptests assert
+//!   byte identity.
+//! * **Total floats.** The grid legitimately produces NaN (crosshatched /
+//!   skipped cells) and could produce ±∞; standard JSON has no spelling for
+//!   them. The writer emits the bare tokens `NaN`, `Infinity` and
+//!   `-Infinity` (as Python's `json` does) and the parser accepts them.
+//!   Finite floats are written with Rust's shortest round-trip formatting,
+//!   so parsing the text recovers the exact bit pattern. All NaN payloads
+//!   normalize to the one canonical `NaN` token; the parser returns the
+//!   standard quiet NaN (`f64::NAN`), which is the only NaN this codebase
+//!   produces.
+
+use std::fmt::Write as _;
+
+/// A parsed or to-be-written JSON document.
+///
+/// Integers are kept apart from floats so `u64` values (e.g. the master
+/// seed) round-trip exactly: a numeric token without `.`/`e` parses as
+/// [`JsonValue::Uint`]/[`JsonValue::Int`], everything else as
+/// [`JsonValue::Num`]. The writer preserves the distinction (`7` vs `7.0`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    /// Non-negative integer token (no sign, no `.`/exponent).
+    Uint(u64),
+    /// Negative integer token.
+    Int(i64),
+    /// Floating-point token (has `.`/exponent, or is `NaN`/`±Infinity`).
+    Num(f64),
+    Str(String),
+    Arr(Vec<JsonValue>),
+    /// Fields in construction order; the writer does not reorder them.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Build an object from `(key, value)` pairs.
+    pub fn obj(pairs: Vec<(&str, JsonValue)>) -> JsonValue {
+        JsonValue::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// An array of floats.
+    pub fn num_arr(values: &[f64]) -> JsonValue {
+        JsonValue::Arr(values.iter().map(|&v| JsonValue::Num(v)).collect())
+    }
+
+    /// Serialize to canonical compact text.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Append the canonical rendering to `out`.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(true) => out.push_str("true"),
+            JsonValue::Bool(false) => out.push_str("false"),
+            JsonValue::Uint(u) => {
+                let _ = write!(out, "{u}");
+            }
+            JsonValue::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            JsonValue::Num(f) => write_f64(*f, out),
+            JsonValue::Str(s) => write_escaped(s, out),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(pairs) => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// The object's value for `key`, if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// As a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// As an unsigned integer (rejects floats — integral fields must have
+    /// been written as integers).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Uint(u) => Some(*u),
+            JsonValue::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// As a float (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(f) => Some(*f),
+            JsonValue::Uint(u) => Some(*u as f64),
+            JsonValue::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// As a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// As an array slice.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
+    }
+}
+
+/// One canonical rendering per float: shortest round-trip text for finite
+/// values (Rust's `{:?}`, which always contains `.` or an exponent), bare
+/// `NaN` / `Infinity` / `-Infinity` tokens otherwise.
+fn write_f64(f: f64, out: &mut String) {
+    if f.is_nan() {
+        out.push_str("NaN");
+    } else if f == f64::INFINITY {
+        out.push_str("Infinity");
+    } else if f == f64::NEG_INFINITY {
+        out.push_str("-Infinity");
+    } else {
+        let _ = write!(out, "{f:?}");
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render_canonically() {
+        assert_eq!(JsonValue::Null.to_text(), "null");
+        assert_eq!(JsonValue::Bool(true).to_text(), "true");
+        assert_eq!(JsonValue::Uint(u64::MAX).to_text(), "18446744073709551615");
+        assert_eq!(JsonValue::Int(-7).to_text(), "-7");
+        assert_eq!(JsonValue::Num(1.0).to_text(), "1.0");
+        assert_eq!(JsonValue::Num(-0.0).to_text(), "-0.0");
+        assert_eq!(JsonValue::Num(f64::NAN).to_text(), "NaN");
+        assert_eq!(JsonValue::Num(f64::INFINITY).to_text(), "Infinity");
+        assert_eq!(JsonValue::Num(f64::NEG_INFINITY).to_text(), "-Infinity");
+    }
+
+    #[test]
+    fn nan_payloads_normalize_to_one_token() {
+        // A NaN with a nonstandard payload still renders as the canonical
+        // token — the writer is total over all 2^64 bit patterns.
+        let weird = f64::from_bits(0x7ff8_0000_dead_beef);
+        assert!(weird.is_nan());
+        assert_eq!(JsonValue::Num(weird).to_text(), "NaN");
+    }
+
+    #[test]
+    fn strings_escape_quotes_controls_and_keep_unicode() {
+        assert_eq!(
+            JsonValue::Str("a\"b\\c\nd\u{1}é".to_string()).to_text(),
+            "\"a\\\"b\\\\c\\nd\\u0001é\""
+        );
+    }
+
+    #[test]
+    fn containers_are_compact_and_ordered() {
+        let v = JsonValue::obj(vec![
+            ("b", JsonValue::Uint(1)),
+            (
+                "a",
+                JsonValue::Arr(vec![JsonValue::Null, JsonValue::Num(0.5)]),
+            ),
+        ]);
+        assert_eq!(v.to_text(), "{\"b\":1,\"a\":[null,0.5]}");
+        assert_eq!(v.get("b").and_then(JsonValue::as_u64), Some(1));
+        assert!(v.get("missing").is_none());
+    }
+}

@@ -1,0 +1,374 @@
+//! Recursive-descent parser for the canonical JSON dialect written by
+//! [`crate::json`]: standard JSON plus the bare non-finite tokens `NaN`,
+//! `Infinity` and `-Infinity`.
+//!
+//! Numeric tokens without a fraction or exponent parse as
+//! [`JsonValue::Uint`]/[`JsonValue::Int`] (exact, full `u64` range);
+//! everything else parses as [`JsonValue::Num`] via Rust's correctly
+//! rounded `str::parse::<f64>`, so writer output round-trips bit-for-bit.
+
+use crate::json::JsonValue;
+use crate::StoreError;
+
+/// Maximum nesting depth, guarding the recursive descent against stack
+/// overflow on adversarial input.
+const MAX_DEPTH: usize = 128;
+
+/// Parse a complete JSON document (trailing whitespace allowed, trailing
+/// garbage is an error).
+///
+/// # Errors
+/// [`StoreError::Parse`] with the byte offset of the first problem.
+pub fn parse(text: &str) -> Result<JsonValue, StoreError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> StoreError {
+        StoreError::Parse {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), StoreError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", byte as char)))
+        }
+    }
+
+    /// Consume `word` if it is next (used for keyword tokens).
+    fn eat_word(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, StoreError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') if self.eat_word("true") => Ok(JsonValue::Bool(true)),
+            Some(b'f') if self.eat_word("false") => Ok(JsonValue::Bool(false)),
+            Some(b'n') if self.eat_word("null") => Ok(JsonValue::Null),
+            Some(b'N') if self.eat_word("NaN") => Ok(JsonValue::Num(f64::NAN)),
+            Some(b'I') if self.eat_word("Infinity") => Ok(JsonValue::Num(f64::INFINITY)),
+            Some(b'-') if self.bytes[self.pos..].starts_with(b"-Infinity") => {
+                self.pos += "-Infinity".len();
+                Ok(JsonValue::Num(f64::NEG_INFINITY))
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, StoreError> {
+        self.enter()?;
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(JsonValue::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(JsonValue::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, StoreError> {
+        self.enter()?;
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), StoreError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH}")));
+        }
+        Ok(())
+    }
+
+    fn string(&mut self) -> Result<String, StoreError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy a run of plain bytes in one go.
+            while let Some(c) = self.peek() {
+                if c == b'"' || c == b'\\' || c < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // The run is valid UTF-8 because the input is a &str and we
+                // only stopped on ASCII boundaries.
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?,
+                );
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.escape(&mut out)?;
+                }
+                Some(_) => return Err(self.err("raw control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn escape(&mut self, out: &mut String) -> Result<(), StoreError> {
+        let c = self.peek().ok_or_else(|| self.err("dangling escape"))?;
+        self.pos += 1;
+        match c {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{8}'),
+            b'f' => out.push('\u{c}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let hi = self.hex4()?;
+                let code = if (0xd800..0xdc00).contains(&hi) {
+                    // Surrogate pair: require a low surrogate escape next.
+                    if !self.eat_word("\\u") {
+                        return Err(self.err("high surrogate without low surrogate"));
+                    }
+                    let lo = self.hex4()?;
+                    if !(0xdc00..0xe000).contains(&lo) {
+                        return Err(self.err("invalid low surrogate"));
+                    }
+                    0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+                } else {
+                    hi
+                };
+                out.push(char::from_u32(code).ok_or_else(|| self.err("invalid \\u escape"))?);
+            }
+            other => return Err(self.err(format!("unknown escape '\\{}'", other as char))),
+        }
+        Ok(())
+    }
+
+    fn hex4(&mut self) -> Result<u32, StoreError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let c = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (c as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("non-hex digit in \\u escape"))?;
+            v = (v << 4) | d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, StoreError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    integral = false;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let token = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number tokens are pure ASCII");
+        // Out-of-range integral tokens fall through to the float path (the
+        // writer never produces such a token).
+        if integral {
+            if token.starts_with('-') {
+                if let Ok(i) = token.parse::<i64>() {
+                    return Ok(JsonValue::Int(i));
+                }
+            } else if let Ok(u) = token.parse::<u64>() {
+                return Ok(JsonValue::Uint(u));
+            }
+        }
+        token
+            .parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| StoreError::Parse {
+                offset: start,
+                message: format!("invalid number token '{token}'"),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(text: &str) {
+        let v = parse(text).unwrap();
+        assert_eq!(v.to_text(), text, "canonical text must be a fixed point");
+    }
+
+    #[test]
+    fn writer_output_is_a_parser_fixed_point() {
+        for text in [
+            "null",
+            "true",
+            "[]",
+            "{}",
+            "18446744073709551615",
+            "-42",
+            "0.1",
+            "-0.0",
+            "1e300",
+            "1.5e-9",
+            "NaN",
+            "Infinity",
+            "-Infinity",
+            "{\"a\":[1,2.0,\"x\\ny\"],\"b\":{\"c\":null}}",
+        ] {
+            roundtrip(text);
+        }
+    }
+
+    #[test]
+    fn integers_and_floats_stay_distinct() {
+        assert_eq!(parse("7").unwrap(), JsonValue::Uint(7));
+        assert_eq!(parse("-7").unwrap(), JsonValue::Int(-7));
+        assert_eq!(parse("7.0").unwrap(), JsonValue::Num(7.0));
+        assert_eq!(parse("7e0").unwrap(), JsonValue::Num(7.0));
+    }
+
+    #[test]
+    fn nonfinite_tokens_parse() {
+        assert!(parse("NaN").unwrap().as_f64().unwrap().is_nan());
+        assert_eq!(parse("Infinity").unwrap(), JsonValue::Num(f64::INFINITY));
+        assert_eq!(
+            parse("[-Infinity]").unwrap(),
+            JsonValue::Arr(vec![JsonValue::Num(f64::NEG_INFINITY)])
+        );
+    }
+
+    #[test]
+    fn escapes_and_surrogate_pairs() {
+        assert_eq!(
+            parse("\"\\u0041\\u00e9\\ud83d\\ude00\\\"\\\\\"").unwrap(),
+            JsonValue::Str("Aé😀\"\\".to_string())
+        );
+    }
+
+    #[test]
+    fn whitespace_is_tolerated_on_input() {
+        let v = parse(" { \"a\" : [ 1 , 2 ] } ").unwrap();
+        assert_eq!(v.to_text(), "{\"a\":[1,2]}");
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        for bad in [
+            "",
+            "[1,",
+            "{\"a\" 1}",
+            "\"unterminated",
+            "{\"a\":1}x",
+            "01x",
+            "\"\\q\"",
+        ] {
+            let err = parse(bad).expect_err(bad);
+            assert!(matches!(err, StoreError::Parse { .. }), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn depth_limit_rejects_deep_nesting() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(parse(&deep).is_err());
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse(&ok).is_ok());
+    }
+}

@@ -91,6 +91,12 @@ impl SynthKind {
         }
     }
 
+    /// Inverse of [`SynthKind::name`]: resolve a display name (as it appears
+    /// in figures and in serialized reports) back to the kind.
+    pub fn from_name(name: &str) -> Option<SynthKind> {
+        SynthKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
     /// Build a fresh synthesizer with recommended settings (the paper runs
     /// every method at its author-recommended defaults).
     pub fn build(self) -> Box<dyn Synthesizer> {

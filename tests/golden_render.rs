@@ -1,0 +1,143 @@
+//! Golden snapshot tests for the text renderers: `render_fig3_block` and
+//! `render_fig4` over a fixed, hand-constructed report must match the
+//! checked-in fixtures byte-for-byte, so rendering refactors cannot
+//! silently drift from the paper's figure layout.
+//!
+//! The fixture inputs are literal values (no synthesizer runs), so the
+//! snapshots are platform-independent. To regenerate after an intentional
+//! rendering change:
+//!
+//! ```text
+//! SYNRD_GOLDEN_REGEN=1 cargo test --test golden_render
+//! ```
+//!
+//! then review the fixture diff like any other code change.
+
+use std::path::PathBuf;
+use synrd::benchmark::{CellOutcome, CellStatus, PaperReport};
+use synrd::finding::FindingType;
+use synrd::parity::aggregate;
+use synrd::report::{render_fig3_block, render_fig4};
+use synrd_synth::SynthKind;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compare `rendered` against the fixture, or rewrite the fixture when
+/// `SYNRD_GOLDEN_REGEN` is set.
+fn assert_golden(name: &str, rendered: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("SYNRD_GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, rendered).unwrap();
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); run with SYNRD_GOLDEN_REGEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered,
+        expected,
+        "rendered output drifted from {}; if the change is intentional, \
+         regenerate with SYNRD_GOLDEN_REGEN=1 and review the diff",
+        path.display()
+    );
+}
+
+fn ok_cell(parity: Vec<f64>, variance: Vec<f64>, fit_seconds: f64) -> CellOutcome {
+    CellOutcome {
+        parity,
+        seed_variance: variance,
+        status: CellStatus::Ok,
+        fit_seconds,
+    }
+}
+
+fn unavailable(status: CellStatus, findings: usize) -> CellOutcome {
+    CellOutcome {
+        parity: vec![f64::NAN; findings],
+        seed_variance: vec![f64::NAN; findings],
+        status,
+        fit_seconds: 0.0,
+    }
+}
+
+/// A fixed report exercising every rendering path: the full shade ramp,
+/// NaN parity inside an Ok cell, crosshatched (infeasible + timed-out)
+/// rows, a skipped PrivMRF-style cell, and the bootstrap control row.
+fn fixed_report() -> PaperReport {
+    let findings = vec![
+        (1, "mean shift", FindingType::DescriptiveStatistics),
+        (2, "odds ratio sign", FindingType::FixedCoefficientSign),
+        (3, "pearson r", FindingType::CorrelationPearson),
+        (4, "accuracy parity", FindingType::LogisticAccuracy),
+    ];
+    let epsilons = vec![0.5, 1.0, std::f64::consts::E];
+    let cells = vec![
+        // MST: a clean gradient across ε plus one NaN finding.
+        vec![
+            ok_cell(vec![0.0, 0.25, 0.5, 0.75], vec![0.0, 0.01, 0.02, 0.03], 1.5),
+            ok_cell(vec![0.1, 0.4, 0.6, 0.9], vec![0.0, 0.0, 0.0, 0.0], 1.25),
+            ok_cell(
+                vec![1.0, 1.0, f64::NAN, 0.875],
+                vec![0.0, 0.0, f64::NAN, 0.25],
+                1.0,
+            ),
+        ],
+        // PrivMRF: skipped off ε = e⁰ (the paper's restriction), ok at e⁰.
+        vec![
+            unavailable(CellStatus::Skipped, 4),
+            ok_cell(vec![0.5, 0.5, 0.5, 0.5], vec![0.1, 0.1, 0.1, 0.1], 30.0),
+            unavailable(CellStatus::Skipped, 4),
+        ],
+        // GEM: infeasible at low ε, timed out at high ε.
+        vec![
+            unavailable(CellStatus::Infeasible("domain too large".to_string()), 4),
+            ok_cell(vec![0.33, 0.66, 0.99, 0.0], vec![0.2, 0.1, 0.0, 0.0], 2.5),
+            unavailable(CellStatus::TimedOut, 4),
+        ],
+    ];
+    PaperReport {
+        paper_id: "golden",
+        paper_name: "Golden et al. 2026",
+        findings,
+        epsilons,
+        synthesizers: vec![SynthKind::Mst, SynthKind::PrivMrf, SynthKind::Gem],
+        cells,
+        control: vec![1.0, 1.0, 0.96, 1.0],
+        n_rows: 2_500,
+    }
+}
+
+/// A second report on the same grid so Figure 4 averages over papers.
+fn second_report() -> PaperReport {
+    let mut report = fixed_report();
+    report.paper_id = "golden2";
+    report.paper_name = "Golden & Silver 2026";
+    for row in &mut report.cells {
+        for cell in row {
+            if cell.status == CellStatus::Ok {
+                for p in &mut cell.parity {
+                    *p = (*p * 0.5).min(1.0);
+                }
+            }
+        }
+    }
+    report
+}
+
+#[test]
+fn fig3_block_matches_golden_fixture() {
+    assert_golden("fig3_block.txt", &render_fig3_block(&fixed_report()));
+}
+
+#[test]
+fn fig4_series_matches_golden_fixture() {
+    let agg = aggregate(&[fixed_report(), second_report()]).unwrap();
+    assert_golden("fig4_series.txt", &render_fig4(&agg));
+}

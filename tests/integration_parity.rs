@@ -73,7 +73,7 @@ fn aggregation_produces_fig4_series() {
             run_paper(paper.as_ref(), &config).unwrap()
         })
         .collect();
-    let agg = aggregate(&reports);
+    let agg = aggregate(&reports).unwrap();
     assert_eq!(agg.epsilons.len(), 2);
     assert_eq!(agg.parity.len(), 2); // 2 synthesizers
     for (_, series) in &agg.parity {
