@@ -1,12 +1,18 @@
 //! Ablation benches for the Private-PGM substrate (DESIGN.md "ablations"):
-//! mirror-descent iteration count vs wall time, and junction-tree sampling
-//! throughput as the tree widens.
+//! mirror-descent iteration count vs wall time, junction-tree sampling
+//! throughput as the tree widens, and before/after kernel benches pitting
+//! the stride-based calibration against the retained naive-reference
+//! implementation (`perfgrid` records the same comparison to
+//! `BENCH_pgm.json`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use synrd_data::{BenchmarkDataset, Marginal};
-use synrd_pgm::{estimate, EstimationOptions, NoisyMeasurement, TreeSampler};
+use synrd_pgm::{
+    calibrate_into, calibrate_naive, estimate, CalibratedTree, CalibrationWorkspace,
+    EstimationOptions, NoisyMeasurement, TreeSampler,
+};
 
 /// Chain measurements over the Saw dataset (one per adjacent pair).
 fn chain_measurements() -> (Vec<usize>, Vec<NoisyMeasurement>) {
@@ -70,5 +76,43 @@ fn sampling_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, estimation_iterations, sampling_throughput);
+/// Before/after kernel bench: one full calibration through the stride
+/// kernels (workspace reused across iterations, as the mirror-descent loop
+/// does) vs the naive expand-then-zip reference. Problems come from
+/// [`synrd_bench::pgm_chain_problem`] — the same grid `perfgrid` records
+/// to `BENCH_pgm.json`.
+fn calibrate_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pgm_calibrate_kernel");
+    group.sample_size(20);
+    for (d, card) in [(8usize, 4usize), (6, 10)] {
+        let (tree, pots) = synrd_bench::pgm_chain_problem(d, card);
+        let mut ws = CalibrationWorkspace::new();
+        let mut out = CalibratedTree::default();
+        group.bench_with_input(
+            BenchmarkId::new("stride", format!("d{d}c{card}")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    calibrate_into(&tree, &pots, &mut ws, &mut out).expect("calibrate");
+                    out.beliefs[0].log_values()[0]
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive", format!("d{d}c{card}")),
+            &(),
+            |b, ()| {
+                b.iter(|| calibrate_naive(&tree, &pots).expect("calibrate"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    estimation_iterations,
+    sampling_throughput,
+    calibrate_kernels
+);
 criterion_main!(benches);

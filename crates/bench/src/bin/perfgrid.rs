@@ -1,0 +1,209 @@
+//! Records the PGM kernel performance trajectory to `BENCH_pgm.json`.
+//!
+//! Times a small fixed grid of calibration problems through both factor
+//! algebras — the stride kernels that power production and the retained
+//! naive-reference oracle (`naive-reference` feature) — plus end-to-end
+//! mirror descent and sampler construction, then writes the results as
+//! canonical JSON (via `synrd-store`) so the repo carries a comparable
+//! perf record from PR to PR.
+//!
+//! ```text
+//! cargo run --release -p synrd-bench --bin perfgrid [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` shrinks repetitions for CI smoke runs; the JSON schema is
+//! identical. Timings are medians over repeated runs; `speedup` is
+//! `naive_ns / stride_ns` for the same problem.
+
+use std::time::Instant;
+use synrd_pgm::{
+    calibrate_into, calibrate_naive, estimate, estimate_naive, factor_buffer_allocs,
+    CalibratedTree, CalibrationWorkspace, EstimationOptions, Factor, JunctionTree,
+    NoisyMeasurement, TreeSampler,
+};
+use synrd_store::JsonValue;
+
+/// One calibration problem of the fixed grid.
+struct Problem {
+    name: String,
+    tree: JunctionTree,
+    pots: Vec<Factor>,
+}
+
+/// Chain of adjacent pairs over `d` attributes of cardinality `card`
+/// (shared with the criterion benches via [`synrd_bench::pgm_chain_problem`]).
+fn chain(d: usize, card: usize) -> Problem {
+    let (tree, pots) = synrd_bench::pgm_chain_problem(d, card);
+    Problem {
+        name: format!("chain-d{d}-c{card}"),
+        tree,
+        pots,
+    }
+}
+
+/// Overlapping triples (width-3 cliques) over `d` attributes.
+fn triples(d: usize, card: usize) -> Problem {
+    let (tree, pots) = synrd_bench::pgm_triples_problem(d, card);
+    Problem {
+        name: format!("triples-d{d}-c{card}"),
+        tree,
+        pots,
+    }
+}
+
+/// Median wall time (ns) of `reps` timed runs of `body`.
+fn median_ns(reps: usize, mut body: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            body();
+            t.elapsed().as_secs_f64() * 1e9
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pgm.json".to_string());
+    let reps = if quick { 7 } else { 31 };
+
+    // --- Kernel grid: stride vs naive calibration -------------------------
+    let problems = vec![chain(8, 4), chain(6, 10), triples(7, 4), triples(5, 8)];
+    let mut kernel_rows = Vec::new();
+    let mut speedups = Vec::new();
+    for p in &problems {
+        let mut ws = CalibrationWorkspace::new();
+        let mut out = CalibratedTree::default();
+        // Warm the workspace so the stride timing reflects steady state
+        // (the mirror-descent loop's regime).
+        calibrate_into(&p.tree, &p.pots, &mut ws, &mut out).expect("calibrate");
+        let stride_ns = median_ns(reps, || {
+            calibrate_into(&p.tree, &p.pots, &mut ws, &mut out).expect("calibrate");
+        });
+        let naive_ns = median_ns(reps, || {
+            calibrate_naive(&p.tree, &p.pots).expect("calibrate");
+        });
+        let speedup = naive_ns / stride_ns;
+        speedups.push(speedup);
+        println!(
+            "calibrate {:<14} stride {:>10.0} ns   naive {:>10.0} ns   speedup {:>5.2}x",
+            p.name, stride_ns, naive_ns, speedup
+        );
+        kernel_rows.push(JsonValue::obj(vec![
+            ("name", JsonValue::Str(p.name.clone())),
+            ("cliques", JsonValue::Uint(p.tree.cliques().len() as u64)),
+            (
+                "max_clique_cells",
+                JsonValue::Uint(p.tree.max_clique_cells() as u64),
+            ),
+            ("stride_ns", JsonValue::Num(stride_ns)),
+            ("naive_ns", JsonValue::Num(naive_ns)),
+            ("speedup", JsonValue::Num(speedup)),
+        ]));
+    }
+
+    // --- End-to-end mirror descent ----------------------------------------
+    let domain = vec![4usize; 8];
+    let measurements: Vec<NoisyMeasurement> = (0..7)
+        .map(|a| NoisyMeasurement {
+            attrs: vec![a, a + 1],
+            values: (0..16).map(|k| 60.0 + 17.0 * (k as f64).sin()).collect(),
+            sigma: 2.0,
+        })
+        .collect();
+    let opts = EstimationOptions {
+        iterations: if quick { 30 } else { 120 },
+        initial_step: 1.0,
+        cell_limit: 1 << 21,
+    };
+    let est_reps = if quick { 3 } else { 9 };
+    let mut ws = CalibrationWorkspace::new();
+    let stride_fit_ns = median_ns(est_reps, || {
+        synrd_pgm::estimate_with(&domain, &measurements, opts, &mut ws).expect("fit");
+    });
+    let naive_fit_ns = median_ns(est_reps, || {
+        estimate_naive(&domain, &measurements, opts).expect("fit");
+    });
+    let fit_speedup = naive_fit_ns / stride_fit_ns;
+    println!(
+        "estimate   {:<14} stride {:>10.0} ns   naive {:>10.0} ns   speedup {:>5.2}x",
+        format!("chain-d8 x{}", opts.iterations),
+        stride_fit_ns,
+        naive_fit_ns,
+        fit_speedup
+    );
+
+    // Allocation trajectory: factor buffers for a fit, and the marginal
+    // cost of additional iterations (must be zero).
+    let allocs_for = |iters: usize| -> u64 {
+        let o = EstimationOptions {
+            iterations: iters,
+            ..opts
+        };
+        let before = factor_buffer_allocs();
+        let model = estimate(&domain, &measurements, o).expect("fit");
+        let mut ws = CalibrationWorkspace::new();
+        TreeSampler::new_with_workspace(&model, &mut ws).expect("sampler");
+        factor_buffer_allocs() - before
+    };
+    let allocs_30 = allocs_for(30);
+    let allocs_120 = allocs_for(120);
+    let allocs_per_iter = (allocs_120 as i64 - allocs_30 as i64) as f64 / 90.0;
+    println!(
+        "allocs     fit+sampler: {allocs_120} buffers; per extra iteration: {allocs_per_iter}"
+    );
+
+    let min_speedup = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+    let geomean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+
+    let doc = JsonValue::obj(vec![
+        ("schema", JsonValue::Str("synrd-bench-pgm/1".to_string())),
+        (
+            "mode",
+            JsonValue::Str(if quick { "quick" } else { "full" }.to_string()),
+        ),
+        ("calibrate_kernels", JsonValue::Arr(kernel_rows)),
+        (
+            "estimate",
+            JsonValue::obj(vec![
+                ("name", JsonValue::Str("chain-d8-c4".to_string())),
+                ("iterations", JsonValue::Uint(opts.iterations as u64)),
+                ("stride_ns", JsonValue::Num(stride_fit_ns)),
+                ("naive_ns", JsonValue::Num(naive_fit_ns)),
+                ("speedup", JsonValue::Num(fit_speedup)),
+                (
+                    "factor_buffer_allocs_fit_and_sampler",
+                    JsonValue::Uint(allocs_120),
+                ),
+                (
+                    "allocs_per_extra_iteration",
+                    JsonValue::Num(allocs_per_iter),
+                ),
+            ]),
+        ),
+        (
+            "summary",
+            JsonValue::obj(vec![
+                ("calibrate_speedup_min", JsonValue::Num(min_speedup)),
+                ("calibrate_speedup_geomean", JsonValue::Num(geomean)),
+                ("estimate_speedup", JsonValue::Num(fit_speedup)),
+            ]),
+        ),
+    ]);
+    let text = doc.to_text();
+    std::fs::write(&out_path, format!("{text}\n")).expect("write BENCH_pgm.json");
+    println!("wrote {out_path} (min calibrate speedup {min_speedup:.2}x, geomean {geomean:.2}x)");
+
+    if min_speedup < 1.0 {
+        eprintln!("warning: stride kernels slower than naive on some problem");
+        std::process::exit(1);
+    }
+}

@@ -296,3 +296,50 @@ pub fn selected_publications(papers: &[String]) -> Vec<Box<dyn synrd::Publicatio
             .collect()
     }
 }
+
+/// A benchmark calibration problem: a junction tree plus one deterministic
+/// log-potential per clique. Shared by the criterion kernel benches
+/// (`benches/pgm.rs`) and the `perfgrid` binary so both measure exactly the
+/// same problems (the checked-in `BENCH_pgm.json` record stays comparable
+/// to the interactive benches).
+pub fn pgm_problem(
+    shape: Vec<usize>,
+    sets: Vec<Vec<usize>>,
+) -> (synrd_pgm::JunctionTree, Vec<synrd_pgm::Factor>) {
+    let tree =
+        synrd_pgm::JunctionTree::build(&shape, &sets, 1 << 21).expect("tree fits cell limit");
+    let pots = tree
+        .cliques()
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let cshape: Vec<usize> = c.iter().map(|&a| shape[a]).collect();
+            let cells: usize = cshape.iter().product();
+            let vals: Vec<f64> = (0..cells)
+                .map(|k| ((k as f64) * 0.37 + i as f64 * 0.11).sin())
+                .collect();
+            synrd_pgm::Factor::from_log_values(c.clone(), cshape, vals).expect("potential")
+        })
+        .collect();
+    (tree, pots)
+}
+
+/// Chain of adjacent attribute pairs over `d` attributes of cardinality
+/// `card` (the MST measurement shape).
+pub fn pgm_chain_problem(
+    d: usize,
+    card: usize,
+) -> (synrd_pgm::JunctionTree, Vec<synrd_pgm::Factor>) {
+    pgm_problem(vec![card; d], (0..d - 1).map(|a| vec![a, a + 1]).collect())
+}
+
+/// Overlapping attribute triples (width-3 cliques) over `d` attributes.
+pub fn pgm_triples_problem(
+    d: usize,
+    card: usize,
+) -> (synrd_pgm::JunctionTree, Vec<synrd_pgm::Factor>) {
+    pgm_problem(
+        vec![card; d],
+        (0..d - 2).map(|a| vec![a, a + 1, a + 2]).collect(),
+    )
+}

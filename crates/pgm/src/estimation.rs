@@ -7,11 +7,24 @@
 //! `L(θ) = Σ_S ‖μ_S(θ) − y_S/n̂‖² / (2·(σ_S/n̂)²)`, using the mirror-descent
 //! update of McKenna et al.: the loss gradient in marginal space is lifted
 //! onto the containing clique's potential, with a backtracking step size.
+//!
+//! The descent loop is allocation-free after warm-up: potentials, the
+//! backtracking proposal, gradients, per-measurement marginal/probability
+//! buffers and both calibrated-tree buffers are set up once, stride plans
+//! map measurement scopes onto their cliques, and every iteration reuses
+//! them through [`calibrate_into`]. All arithmetic is performed in the same
+//! per-cell order as the original allocate-per-operation implementation, so
+//! fitted models are bit-identical to the pre-workspace code (pinned by the
+//! report-digest integration test).
 
 use crate::error::{PgmError, Result};
-use crate::factor::Factor;
-use crate::inference::{calibrate, CalibratedTree};
+use crate::factor::{
+    bcast_add, bcast_assign, marg_finish, marg_max, marg_sum, probabilities_into_slice, Factor,
+    StridePlan,
+};
+use crate::inference::{calibrate_into, CalibratedTree};
 use crate::junction_tree::JunctionTree;
+use crate::workspace::CalibrationWorkspace;
 
 /// One noisy marginal measurement.
 #[derive(Debug, Clone)]
@@ -102,7 +115,81 @@ impl FittedModel {
     }
 }
 
+/// A measurement resolved against the junction tree, with its reusable
+/// buffers: noisy target proportions, the stride plan between the
+/// measurement scope and its containing clique, and scratch for the model
+/// marginal / probabilities / marginal-space gradient.
+struct Target {
+    clique: usize,
+    proportions: Vec<f64>,
+    weight: f64, // 1 / (2 sigma_prop^2)
+    /// Stride plan embedding the measurement scope in the clique scope
+    /// (marginalize down for the loss, broadcast up for the gradient).
+    plan: StridePlan,
+    /// Model log-marginal over the measurement scope.
+    marg: Vec<f64>,
+    /// Model probabilities over the measurement scope.
+    probs: Vec<f64>,
+    /// Marginal-space gradient `2·w·(μ − y/n̂)`.
+    grad: Vec<f64>,
+}
+
+/// Measurement loss, and optionally the per-clique potential-space
+/// gradients (written into `grads`, with `grad_set[c]` marking cliques that
+/// received any contribution). Allocation-free.
+fn loss_and_grad(
+    cal: &CalibratedTree,
+    targets: &mut [Target],
+    want_grad: bool,
+    grads: &mut [Factor],
+    grad_set: &mut [bool],
+    maxes: &mut [f64],
+    sums: &mut [f64],
+) -> f64 {
+    if want_grad {
+        grad_set.fill(false);
+    }
+    let mut loss = 0.0;
+    for t in targets.iter_mut() {
+        let belief = &cal.beliefs[t.clique];
+        let cells = t.marg.len();
+        if t.plan.is_identity() {
+            // Measurement scope == clique scope: the marginal is the belief.
+            t.marg.copy_from_slice(belief.log_values());
+        } else {
+            let mx = &mut maxes[..cells];
+            let sm = &mut sums[..cells];
+            mx.fill(f64::NEG_INFINITY);
+            sm.fill(0.0);
+            marg_max(belief.log_values(), mx, &t.plan);
+            marg_sum(belief.log_values(), mx, sm, &t.plan);
+            marg_finish(mx, sm, &mut t.marg);
+        }
+        probabilities_into_slice(&t.marg, &mut t.probs);
+        for (k, (p, y)) in t.probs.iter().zip(&t.proportions).enumerate() {
+            let diff = p - y;
+            loss += t.weight * diff * diff;
+            if want_grad {
+                t.grad[k] = 2.0 * t.weight * diff;
+            }
+        }
+        if want_grad {
+            let g = grads[t.clique].log_values_mut();
+            if grad_set[t.clique] {
+                bcast_add(g, &t.grad, &t.plan);
+            } else {
+                bcast_assign(g, &t.grad, &t.plan);
+                grad_set[t.clique] = true;
+            }
+        }
+    }
+    loss
+}
+
 /// Estimate a model from noisy measurements over `domain_shape`.
+///
+/// One-shot convenience over [`estimate_with`] (allocates a fresh
+/// workspace).
 ///
 /// # Errors
 /// [`PgmError::NoMeasurements`] without input; construction errors from the
@@ -111,6 +198,24 @@ pub fn estimate(
     domain_shape: &[usize],
     measurements: &[NoisyMeasurement],
     options: EstimationOptions,
+) -> Result<FittedModel> {
+    let mut ws = CalibrationWorkspace::new();
+    estimate_with(domain_shape, measurements, options, &mut ws)
+}
+
+/// [`estimate`] with a caller-provided scratch arena. The workspace is
+/// rebuilt automatically if the implied junction tree differs from the one
+/// it last served, so a synthesizer can hold one workspace across repeated
+/// fits (AIM's measure-estimate rounds) and every mirror-descent iteration
+/// runs without factor-buffer allocations.
+///
+/// # Errors
+/// Same contract as [`estimate`].
+pub fn estimate_with(
+    domain_shape: &[usize],
+    measurements: &[NoisyMeasurement],
+    options: EstimationOptions,
+    ws: &mut CalibrationWorkspace,
 ) -> Result<FittedModel> {
     if measurements.is_empty() {
         return Err(PgmError::NoMeasurements);
@@ -130,12 +235,171 @@ pub fn estimate(
     let tree = JunctionTree::build(domain_shape, &sets, options.cell_limit)?;
 
     // Assign measurements to containing cliques; precompute targets as
-    // noisy *proportions* with proportion-space noise std.
-    struct Target {
+    // noisy *proportions* with proportion-space noise std, plus the stride
+    // plan and scratch each target reuses every iteration.
+    let mut targets = Vec::with_capacity(measurements.len());
+    let mut max_target_cells = 1usize;
+    for m in measurements {
+        let clique =
+            tree.containing_clique(&m.attrs)
+                .ok_or_else(|| PgmError::UncoveredMeasurement {
+                    attrs: m.attrs.clone(),
+                })?;
+        let shape: Vec<usize> = m.attrs.iter().map(|&a| domain_shape[a]).collect();
+        let plan = StridePlan::embed(
+            &m.attrs,
+            &shape,
+            &tree.cliques()[clique],
+            tree.clique_shape(clique),
+        )?;
+        let cells = plan.small_cells();
+        // A truncated/oversized value vector would otherwise zip silently
+        // against the model marginal and fit with unconstrained cells (the
+        // original path errored when lifting the gradient).
+        if m.values.len() != cells {
+            return Err(PgmError::ShapeMismatch {
+                cells,
+                values: m.values.len(),
+            });
+        }
+        max_target_cells = max_target_cells.max(cells);
+        let sigma_prop = (m.sigma / n_estimate).max(1e-9);
+        targets.push(Target {
+            clique,
+            proportions: m.values.iter().map(|v| v / n_estimate).collect(),
+            weight: 1.0 / (2.0 * sigma_prop * sigma_prop),
+            plan,
+            marg: vec![0.0; cells],
+            probs: vec![0.0; cells],
+            grad: vec![0.0; cells],
+        });
+    }
+
+    // Initialize potentials to uniform; pre-size the proposal, gradient and
+    // marginalization buffers (end of warm-up — the loop allocates nothing).
+    let mut theta: Vec<Factor> = tree
+        .cliques()
+        .iter()
+        .enumerate()
+        .map(|(i, c)| Factor::uniform(c.clone(), tree.clique_shape(i).to_vec()))
+        .collect::<Result<_>>()?;
+    let mut proposal = theta.clone();
+    let mut grads: Vec<Factor> = theta.clone();
+    let mut grad_set = vec![false; theta.len()];
+    let mut maxes = vec![0.0f64; max_target_cells];
+    let mut sums = vec![0.0f64; max_target_cells];
+    let mut cal = CalibratedTree::default();
+    let mut trial = CalibratedTree::default();
+
+    // Normalize gradient magnitude: weights scale like n̂²/σ², so scale the
+    // step by the total weight to start in a sane region.
+    let weight_scale: f64 = targets.iter().map(|t| t.weight).sum::<f64>().max(1.0);
+    let mut step = options.initial_step / weight_scale;
+    calibrate_into(&tree, &theta, ws, &mut cal)?;
+    let mut loss = loss_and_grad(
+        &cal,
+        &mut targets,
+        false,
+        &mut grads,
+        &mut grad_set,
+        &mut maxes,
+        &mut sums,
+    );
+    let mut final_loss = loss;
+
+    for _ in 0..options.iterations {
+        loss_and_grad(
+            &cal,
+            &mut targets,
+            true,
+            &mut grads,
+            &mut grad_set,
+            &mut maxes,
+            &mut sums,
+        );
+        // Backtracking: shrink the step until the loss decreases.
+        let mut accepted = false;
+        for _ in 0..24 {
+            for (c, (pr, th)) in proposal.iter_mut().zip(&theta).enumerate() {
+                pr.copy_values_from(th);
+                if grad_set[c] {
+                    for (tv, gv) in pr.log_values_mut().iter_mut().zip(grads[c].log_values()) {
+                        *tv -= step * gv;
+                    }
+                }
+            }
+            calibrate_into(&tree, &proposal, ws, &mut trial)?;
+            let new_loss = loss_and_grad(
+                &trial,
+                &mut targets,
+                false,
+                &mut grads,
+                &mut grad_set,
+                &mut maxes,
+                &mut sums,
+            );
+            if new_loss <= loss {
+                std::mem::swap(&mut theta, &mut proposal);
+                std::mem::swap(&mut cal, &mut trial);
+                loss = new_loss;
+                final_loss = new_loss;
+                step *= 1.25; // expand after success
+                accepted = true;
+                break;
+            }
+            step *= 0.5;
+        }
+        if !accepted {
+            break; // converged to numerical precision
+        }
+    }
+
+    Ok(FittedModel {
+        tree,
+        calibrated: cal,
+        n_estimate,
+        final_loss,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Naive reference estimation — the differential-testing oracle.
+// ---------------------------------------------------------------------------
+
+/// The original allocate-per-operation mirror descent, built on the naive
+/// factor algebra and [`crate::inference::calibrate_naive`]. Retained
+/// verbatim as the bit-identity oracle for [`estimate`]
+/// (see `tests/calibration_determinism.rs`).
+#[cfg(any(test, feature = "naive-reference"))]
+pub fn estimate_naive(
+    domain_shape: &[usize],
+    measurements: &[NoisyMeasurement],
+    options: EstimationOptions,
+) -> Result<FittedModel> {
+    use crate::inference::calibrate_naive;
+
+    if measurements.is_empty() {
+        return Err(PgmError::NoMeasurements);
+    }
+    // n̂: inverse-variance weighted mean of the measurement totals.
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for m in measurements {
+        let total: f64 = m.values.iter().sum();
+        let w = 1.0 / m.sigma.max(1e-9).powi(2);
+        num += w * total;
+        den += w;
+    }
+    let n_estimate = (num / den).max(1.0);
+
+    let sets: Vec<Vec<usize>> = measurements.iter().map(|m| m.attrs.clone()).collect();
+    let tree = JunctionTree::build(domain_shape, &sets, options.cell_limit)?;
+
+    struct NaiveTarget {
         clique: usize,
         attrs: Vec<usize>,
         proportions: Vec<f64>,
-        weight: f64, // 1 / (2 sigma_prop^2)
+        weight: f64,
     }
     let mut targets = Vec::with_capacity(measurements.len());
     for m in measurements {
@@ -145,7 +409,7 @@ pub fn estimate(
                     attrs: m.attrs.clone(),
                 })?;
         let sigma_prop = (m.sigma / n_estimate).max(1e-9);
-        targets.push(Target {
+        targets.push(NaiveTarget {
             clique,
             attrs: m.attrs.clone(),
             proportions: m.values.iter().map(|v| v / n_estimate).collect(),
@@ -153,7 +417,6 @@ pub fn estimate(
         });
     }
 
-    // Initialize potentials to uniform.
     let mut theta: Vec<Factor> = tree
         .cliques()
         .iter()
@@ -167,7 +430,7 @@ pub fn estimate(
         let mut loss = 0.0;
         let mut grads: Vec<Option<Factor>> = vec![None; tree.cliques().len()];
         for t in &targets {
-            let model = cal.beliefs[t.clique].marginalize_keep(&t.attrs)?;
+            let model = cal.beliefs[t.clique].naive_marginalize_keep(&t.attrs)?;
             let probs = model.probabilities();
             let mut g = Vec::with_capacity(probs.len());
             for (p, y) in probs.iter().zip(&t.proportions) {
@@ -177,7 +440,7 @@ pub fn estimate(
             }
             if want_grad {
                 let shape: Vec<usize> = t.attrs.iter().map(|&a| domain_shape[a]).collect();
-                let gf = Factor::from_log_values(t.attrs.clone(), shape, g)?; // raw grads in the log slot
+                let gf = Factor::from_log_values(t.attrs.clone(), shape, g)?;
                 let expanded = gf.expand(
                     tree.cliques()[t.clique].as_slice(),
                     tree.clique_shape(t.clique),
@@ -196,17 +459,14 @@ pub fn estimate(
         Ok((loss, grads))
     };
 
-    // Normalize gradient magnitude: weights scale like n̂²/σ², so scale the
-    // step by the total weight to start in a sane region.
     let weight_scale: f64 = targets.iter().map(|t| t.weight).sum::<f64>().max(1.0);
     let mut step = options.initial_step / weight_scale;
-    let mut cal = calibrate(&tree, &theta)?;
+    let mut cal = calibrate_naive(&tree, &theta)?;
     let (mut loss, _) = loss_and_grad(&cal, false)?;
     let mut final_loss = loss;
 
     for _ in 0..options.iterations {
         let (_, grads) = loss_and_grad(&cal, true)?;
-        // Backtracking: shrink the step until the loss decreases.
         let mut accepted = false;
         for _ in 0..24 {
             let mut proposal = theta.clone();
@@ -217,21 +477,21 @@ pub fn estimate(
                     }
                 }
             }
-            let new_cal = calibrate(&tree, &proposal)?;
+            let new_cal = calibrate_naive(&tree, &proposal)?;
             let (new_loss, _) = loss_and_grad(&new_cal, false)?;
             if new_loss <= loss {
                 theta = proposal;
                 cal = new_cal;
                 loss = new_loss;
                 final_loss = new_loss;
-                step *= 1.25; // expand after success
+                step *= 1.25;
                 accepted = true;
                 break;
             }
             step *= 0.5;
         }
         if !accepted {
-            break; // converged to numerical precision
+            break;
         }
     }
 
@@ -334,5 +594,51 @@ mod tests {
             estimate(&[2, 2], &[], EstimationOptions::default()),
             Err(PgmError::NoMeasurements)
         ));
+    }
+
+    #[test]
+    fn wrong_value_count_is_an_error() {
+        // 2x2 scope but only 3 values: must error, not fit with a silently
+        // unconstrained cell.
+        let bad = NoisyMeasurement {
+            attrs: vec![0, 1],
+            values: vec![10.0; 3],
+            sigma: 1.0,
+        };
+        assert!(matches!(
+            estimate(&[2, 2], &[bad], EstimationOptions::default()),
+            Err(PgmError::ShapeMismatch {
+                cells: 4,
+                values: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn workspace_reuse_across_fits_is_identical() {
+        // The same workspace serving two different measurement sets (and
+        // therefore two different trees) must not leak state between fits.
+        let domain = vec![2usize, 2, 3];
+        let ms_a = vec![NoisyMeasurement {
+            attrs: vec![0, 1],
+            values: vec![400.0, 100.0, 100.0, 400.0],
+            sigma: 1.0,
+        }];
+        let ms_b = vec![NoisyMeasurement {
+            attrs: vec![1, 2],
+            values: vec![100.0, 200.0, 300.0, 150.0, 150.0, 100.0],
+            sigma: 2.0,
+        }];
+        let mut ws = CalibrationWorkspace::new();
+        for ms in [&ms_a, &ms_b, &ms_a] {
+            let shared = estimate_with(&domain, ms, EstimationOptions::default(), &mut ws).unwrap();
+            let fresh = estimate(&domain, ms, EstimationOptions::default()).unwrap();
+            assert_eq!(
+                shared.calibrated().beliefs,
+                fresh.calibrated().beliefs,
+                "workspace reuse changed a fit"
+            );
+            assert_eq!(shared.final_loss(), fresh.final_loss());
+        }
     }
 }

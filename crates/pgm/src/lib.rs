@@ -4,15 +4,28 @@
 //! graphical model estimated from noisy marginals (McKenna et al.'s
 //! Private-PGM). This crate provides that machinery from scratch:
 //!
-//! * [`factor`] — log-space factors with product / marginalization / division;
+//! * [`factor`] — log-space factors with stride-kernel product /
+//!   marginalization / division (no union scope is ever materialized on the
+//!   hot path);
 //! * [`junction_tree`] — min-fill triangulation + maximal cliques + maximum
 //!   spanning tree with the running-intersection property;
-//! * [`inference`] — Shafer–Shenoy calibration;
+//! * [`inference`] — Shafer–Shenoy calibration, allocation-free after
+//!   warm-up via [`workspace::CalibrationWorkspace`];
 //! * [`estimation`] — mirror-descent fitting of clique potentials to noisy
 //!   marginal measurements, with backtracking line search;
 //! * [`sampling`] — ancestral sampling from the calibrated tree;
 //! * [`spanning_tree`] — Kruskal maximum spanning tree / union-find (also
-//!   used directly by the MST synthesizer).
+//!   used directly by the MST synthesizer);
+//! * [`workspace`] — the reusable scratch arena threaded through
+//!   `calibrate` → `estimate` → `TreeSampler`.
+//!
+//! The original allocate-per-operation factor algebra is retained behind
+//! `#[cfg(any(test, feature = "naive-reference"))]`
+//! ([`Factor::naive_multiply`], [`Factor::naive_divide`],
+//! [`Factor::naive_marginalize_keep`], [`Factor::expand`],
+//! [`inference::calibrate_naive`]) as the differential-testing oracle: the
+//! stride kernels are proven **bit-identical** to it by the proptests in
+//! `tests/factor_equivalence.rs` and `tests/calibration_determinism.rs`.
 
 #![allow(clippy::needless_range_loop)] // indexed loops are the clearer idiom in numeric kernels
 pub mod error;
@@ -22,11 +35,17 @@ pub mod inference;
 pub mod junction_tree;
 pub mod sampling;
 pub mod spanning_tree;
+pub mod workspace;
 
 pub use error::{PgmError, Result};
-pub use estimation::{estimate, EstimationOptions, FittedModel, NoisyMeasurement};
-pub use factor::{log_sum_exp, Factor};
-pub use inference::{calibrate, CalibratedTree};
+#[cfg(any(test, feature = "naive-reference"))]
+pub use estimation::estimate_naive;
+pub use estimation::{estimate, estimate_with, EstimationOptions, FittedModel, NoisyMeasurement};
+pub use factor::{factor_buffer_allocs, log_sum_exp, Factor};
+#[cfg(any(test, feature = "naive-reference"))]
+pub use inference::calibrate_naive;
+pub use inference::{calibrate, calibrate_into, CalibratedTree};
 pub use junction_tree::JunctionTree;
 pub use sampling::TreeSampler;
 pub use spanning_tree::{maximum_spanning_tree, UnionFind};
+pub use workspace::CalibrationWorkspace;

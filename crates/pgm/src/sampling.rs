@@ -9,6 +9,7 @@
 use crate::error::Result;
 use crate::estimation::FittedModel;
 use crate::factor::strides_of;
+use crate::workspace::CalibrationWorkspace;
 use rand::Rng;
 
 /// Precomputed sampler for a fitted model.
@@ -44,7 +45,23 @@ struct Group {
 impl TreeSampler {
     /// Build the sampler from a fitted model.
     pub fn new(model: &FittedModel) -> Result<TreeSampler> {
+        let mut ws = CalibrationWorkspace::new();
+        Self::new_with_workspace(model, &mut ws)
+    }
+
+    /// Build the sampler reusing a calibration workspace's probability
+    /// scratch (the same arena a synthesizer threads through
+    /// [`crate::estimation::estimate_with`]), so belief probabilities are
+    /// materialized without per-clique factor-buffer allocations.
+    pub fn new_with_workspace(
+        model: &FittedModel,
+        ws: &mut CalibrationWorkspace,
+    ) -> Result<TreeSampler> {
         let tree = model.tree();
+        // Only the probability scratch is needed here; a workspace already
+        // built for this tree (the estimate_with flow) reuses it as-is,
+        // and a fresh one sizes just that buffer — not plans or messages.
+        ws.ensure_prob_scratch(tree);
         let k = tree.cliques().len();
 
         // Root each component and order cliques BFS (parents first).
@@ -74,7 +91,9 @@ impl TreeSampler {
             let attrs = tree.cliques()[c].clone();
             let shape = tree.clique_shape(c).to_vec();
             let strides = strides_of(&shape);
-            let probs = model.calibrated().beliefs[c].probabilities();
+            let belief = &model.calibrated().beliefs[c];
+            let probs = &mut ws.prob_scratch_mut()[..belief.n_cells()];
+            belief.probabilities_into(probs);
 
             let sep_attrs: Vec<usize> = match parent[c] {
                 Some((_, e)) => tree.edges()[e].2.clone(),

@@ -16,7 +16,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use synrd_data::{Dataset, Domain, Marginal};
 use synrd_dp::{derive_seed, exponential_epsilon, exponential_mechanism, Accountant, Privacy};
-use synrd_pgm::{estimate, EstimationOptions, FittedModel, JunctionTree, TreeSampler};
+use synrd_pgm::{
+    estimate_with, CalibrationWorkspace, EstimationOptions, FittedModel, JunctionTree, TreeSampler,
+};
 
 /// Configuration for [`Aim`].
 #[derive(Debug, Clone, Copy)]
@@ -87,10 +89,15 @@ impl Synthesizer for Aim {
             initial_step: 1.0,
             cell_limit,
         };
-        let mut model = estimate(
+        // One scratch arena across every refit: AIM re-estimates after each
+        // round, and the workspace re-plans only when the tree topology
+        // actually changes (the final fit reuses the last round's plans).
+        let mut ws = CalibrationWorkspace::new();
+        let mut model = estimate_with(
             &shape,
             &measurements,
             est_opts(self.options.refit_iterations, self.options.cell_limit),
+            &mut ws,
         )?;
 
         // Workload: all pairs that fit the cell limit.
@@ -154,18 +161,20 @@ impl Synthesizer for Aim {
             accountant.spend(rho_measure)?;
             measurements.push(measure_gaussian(data, &attrs, rho_measure, &mut rng)?);
             chosen_sets.push(attrs);
-            model = estimate(
+            model = estimate_with(
                 &shape,
                 &measurements,
                 est_opts(self.options.refit_iterations, self.options.cell_limit),
+                &mut ws,
             )?;
         }
 
         // Final, longer fit.
-        let model = estimate(
+        let model = estimate_with(
             &shape,
             &measurements,
             est_opts(self.options.final_iterations, self.options.cell_limit),
+            &mut ws,
         )?;
         self.fitted = Some((data.domain().clone(), model));
         Ok(())

@@ -18,7 +18,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use synrd_data::{Dataset, Domain, Marginal};
 use synrd_dp::{derive_seed, exponential_epsilon, exponential_mechanism, Accountant, Privacy};
-use synrd_pgm::{estimate, EstimationOptions, FittedModel, TreeSampler, UnionFind};
+use synrd_pgm::{
+    estimate_with, CalibrationWorkspace, EstimationOptions, FittedModel, TreeSampler, UnionFind,
+};
 
 /// Configuration for [`Mst`].
 #[derive(Debug, Clone, Copy)]
@@ -140,7 +142,8 @@ impl Synthesizer for Mst {
             measurements.push(measure_gaussian(data, &[a, b], rho_pair, &mut rng)?);
         }
 
-        let model = estimate(
+        let mut ws = CalibrationWorkspace::new();
+        let model = estimate_with(
             &data.domain().shape(),
             &measurements,
             EstimationOptions {
@@ -148,6 +151,7 @@ impl Synthesizer for Mst {
                 initial_step: 1.0,
                 cell_limit: self.options.cell_limit,
             },
+            &mut ws,
         )?;
         self.fitted = Some((data.domain().clone(), model));
         Ok(())

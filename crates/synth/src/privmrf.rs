@@ -16,7 +16,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use synrd_data::{mutual_information, Dataset, Domain};
 use synrd_dp::{derive_seed, exponential_epsilon, exponential_mechanism, Accountant, Privacy};
-use synrd_pgm::{estimate, EstimationOptions, FittedModel, JunctionTree, TreeSampler};
+use synrd_pgm::{
+    estimate_with, CalibrationWorkspace, EstimationOptions, FittedModel, JunctionTree, TreeSampler,
+};
 
 /// Configuration for [`PrivMrf`].
 #[derive(Debug, Clone, Copy)]
@@ -153,7 +155,8 @@ impl Synthesizer for PrivMrf {
             chosen.push(attrs);
         }
 
-        let model = estimate(
+        let mut ws = CalibrationWorkspace::new();
+        let model = estimate_with(
             &shape,
             &measurements,
             EstimationOptions {
@@ -161,6 +164,7 @@ impl Synthesizer for PrivMrf {
                 initial_step: 1.0,
                 cell_limit: self.options.cell_limit,
             },
+            &mut ws,
         )?;
         self.fitted = Some((data.domain().clone(), model));
         Ok(())

@@ -1,7 +1,8 @@
-//! Golden snapshot tests for the text renderers: `render_fig3_block` and
-//! `render_fig4` over a fixed, hand-constructed report must match the
-//! checked-in fixtures byte-for-byte, so rendering refactors cannot
-//! silently drift from the paper's figure layout.
+//! Golden snapshot tests for the text renderers: `render_fig3_block`,
+//! `render_fig4`, `render_table1` and `render_table2` over fixed,
+//! hand-constructed inputs must match the checked-in fixtures
+//! byte-for-byte, so rendering refactors cannot silently drift from the
+//! paper's figure and table layouts.
 //!
 //! The fixture inputs are literal values (no synthesizer runs), so the
 //! snapshots are platform-independent. To regenerate after an intentional
@@ -17,7 +18,10 @@ use std::path::PathBuf;
 use synrd::benchmark::{CellOutcome, CellStatus, PaperReport};
 use synrd::finding::FindingType;
 use synrd::parity::aggregate;
-use synrd::report::{render_fig3_block, render_fig4};
+use synrd::report::{
+    finding_type_counts, render_fig3_block, render_fig4, render_table1, render_table2,
+};
+use synrd_data::{MeanStd, MetaFeatures};
 use synrd_synth::SynthKind;
 
 fn golden_path(name: &str) -> PathBuf {
@@ -140,4 +144,49 @@ fn fig3_block_matches_golden_fixture() {
 fn fig4_series_matches_golden_fixture() {
     let agg = aggregate(&[fixed_report(), second_report()]).unwrap();
     assert_golden("fig4_series.txt", &render_fig4(&agg));
+}
+
+/// Literal meta-feature rows exercising every Table 1 formatting path:
+/// large/small scientific domain sizes, a NaN mean/std pair (datasets with
+/// no numeric attributes), and zero counts.
+fn fixed_table1_rows() -> Vec<(&'static str, MetaFeatures)> {
+    let ms = |mean: f64, std: f64| MeanStd { mean, std };
+    vec![
+        (
+            "Golden et al. 2026",
+            MetaFeatures {
+                sample_size: 20_242,
+                n_variables: 11,
+                domain_size: 3.2e9,
+                outliers: 17,
+                mutual_information: ms(0.0425, 0.0611),
+                skewness: ms(-0.375, 1.125),
+                sparsity: ms(0.25, 0.125),
+            },
+        ),
+        (
+            "Golden & Silver 2026",
+            MetaFeatures {
+                sample_size: 1_500,
+                n_variables: 4,
+                domain_size: 96.0,
+                outliers: 0,
+                mutual_information: ms(0.5, 0.0),
+                skewness: ms(f64::NAN, f64::NAN),
+                sparsity: ms(0.0, 0.0),
+            },
+        ),
+    ]
+}
+
+#[test]
+fn table1_matches_golden_fixture() {
+    assert_golden("table1.txt", &render_table1(&fixed_table1_rows()));
+}
+
+#[test]
+fn table2_matches_golden_fixture() {
+    // Table 2 is fully determined by the publication registry (integer
+    // counts, no floats), so the live counts are themselves a fixed input.
+    assert_golden("table2.txt", &render_table2(&finding_type_counts()));
 }
