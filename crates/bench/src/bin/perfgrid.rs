@@ -1,21 +1,27 @@
-//! Records the PGM kernel performance trajectory to `BENCH_pgm.json`.
+//! Records the kernel performance trajectory to `BENCH_pgm.json` (factor
+//! algebra) and `BENCH_marginal.json` (marginal-counting engine).
 //!
 //! Times a small fixed grid of calibration problems through both factor
 //! algebras — the stride kernels that power production and the retained
 //! naive-reference oracle (`naive-reference` feature) — plus end-to-end
-//! mirror descent and sampler construction, then writes the results as
-//! canonical JSON (via `synrd-store`) so the repo carries a comparable
-//! perf record from PR to PR.
+//! mirror descent and sampler construction, then does the same for the
+//! data side: the synthesizer selection paths (AIM round loops, MST's
+//! all-pairs sweep) through the `MarginalEngine` vs the naive per-row
+//! counter. Results are written as canonical JSON (via `synrd-store`) so
+//! the repo carries a comparable perf record from PR to PR.
 //!
 //! ```text
-//! cargo run --release -p synrd-bench --bin perfgrid [--quick] [--out PATH]
+//! cargo run --release -p synrd-bench --bin perfgrid \
+//!     [--quick] [--out PATH] [--marginal-out PATH]
 //! ```
 //!
-//! `--quick` shrinks repetitions for CI smoke runs; the JSON schema is
+//! `--quick` shrinks repetitions for CI smoke runs; the JSON schemas are
 //! identical. Timings are medians over repeated runs; `speedup` is
-//! `naive_ns / stride_ns` for the same problem.
+//! `naive_ns / engine_ns` for the same problem.
 
+use std::hint::black_box;
 use std::time::Instant;
+use synrd_data::{Marginal, MarginalEngine};
 use synrd_pgm::{
     calibrate_into, calibrate_naive, estimate, estimate_naive, factor_buffer_allocs,
     CalibratedTree, CalibrationWorkspace, EstimationOptions, Factor, JunctionTree,
@@ -64,6 +70,130 @@ fn median_ns(reps: usize, mut body: impl FnMut()) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// The marginal-engine half of the perf record: time the synthesizer
+/// selection paths through the engine vs the naive counter and write
+/// `BENCH_marginal.json`. Returns the minimum selection-path speedup.
+fn marginal_section(quick: bool, out_path: &str) -> f64 {
+    let rows = if quick { 40_000 } else { 120_000 };
+    let d = 12usize;
+    let shape = synrd_bench::marginal_bench_shape(d);
+    let data = synrd_bench::marginal_bench_dataset(rows, &shape);
+    let reps = if quick { 5 } else { 15 };
+    let pairs: Vec<Vec<usize>> = (0..d)
+        .flat_map(|a| ((a + 1)..d).map(move |b| vec![a, b]))
+        .collect();
+    let one_ways: Vec<Vec<usize>> = (0..d).map(|a| vec![a]).collect();
+    let mut bench_rows = Vec::new();
+    let mut selection_speedups = Vec::new();
+
+    // Sweep benches: a batch of attribute sets counted once — naive loops
+    // over per-set row scans, the engine answers the batch in fused sweeps.
+    let sweeps: [(&str, &[Vec<usize>], bool); 2] = [
+        ("one-way-sweep", &one_ways, false),
+        ("mst-pairs", &pairs, true), // MST phase 2: all O(d²) joints
+    ];
+    for (name, sets, is_selection) in sweeps {
+        let naive_ns = median_ns(reps, || {
+            let mut sink = 0.0;
+            for attrs in sets {
+                sink += Marginal::count_naive(&data, attrs).expect("count").total();
+            }
+            black_box(sink);
+        });
+        let engine_ns = median_ns(reps, || {
+            let mut engine = MarginalEngine::new(&data);
+            let batch = engine.count_many(sets).expect("count");
+            black_box(batch.iter().map(Marginal::total).sum::<f64>());
+        });
+        let speedup = naive_ns / engine_ns;
+        if is_selection {
+            selection_speedups.push(speedup);
+        }
+        println!(
+            "marginal   {:<14} engine {:>10.0} ns   naive {:>10.0} ns   speedup {:>5.2}x",
+            name, engine_ns, naive_ns, speedup
+        );
+        bench_rows.push(JsonValue::obj(vec![
+            ("name", JsonValue::Str(name.to_string())),
+            ("sets", JsonValue::Uint(sets.len() as u64)),
+            ("engine_ns", JsonValue::Num(engine_ns)),
+            ("naive_ns", JsonValue::Num(naive_ns)),
+            ("speedup", JsonValue::Num(speedup)),
+        ]));
+    }
+
+    // AIM round loop: every round re-scores the whole pair workload against
+    // the (unchanged) true counts. The naive path recounts per round; the
+    // engine counts once and serves rounds 2..R from the cache.
+    let rounds = 5usize;
+    let naive_ns = median_ns(reps, || {
+        let mut sink = 0.0;
+        for _ in 0..rounds {
+            for attrs in &pairs {
+                sink += Marginal::count_naive(&data, attrs).expect("count").total();
+            }
+        }
+        black_box(sink);
+    });
+    let engine_ns = median_ns(reps, || {
+        let mut engine = MarginalEngine::new(&data);
+        let mut sink = 0.0;
+        for _ in 0..rounds {
+            for attrs in &pairs {
+                sink += engine.count(attrs).expect("count").total();
+            }
+        }
+        black_box(sink);
+    });
+    let aim_speedup = naive_ns / engine_ns;
+    selection_speedups.push(aim_speedup);
+    let aim_name = format!("aim-round-loop-x{rounds}");
+    println!(
+        "marginal   {:<14} engine {:>10.0} ns   naive {:>10.0} ns   speedup {:>5.2}x",
+        aim_name, engine_ns, naive_ns, aim_speedup
+    );
+    bench_rows.push(JsonValue::obj(vec![
+        ("name", JsonValue::Str(aim_name)),
+        ("sets", JsonValue::Uint(pairs.len() as u64)),
+        ("rounds", JsonValue::Uint(rounds as u64)),
+        ("engine_ns", JsonValue::Num(engine_ns)),
+        ("naive_ns", JsonValue::Num(naive_ns)),
+        ("speedup", JsonValue::Num(aim_speedup)),
+    ]));
+
+    let selection_min = selection_speedups
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let doc = JsonValue::obj(vec![
+        (
+            "schema",
+            JsonValue::Str("synrd-bench-marginal/1".to_string()),
+        ),
+        (
+            "mode",
+            JsonValue::Str(if quick { "quick" } else { "full" }.to_string()),
+        ),
+        ("rows", JsonValue::Uint(rows as u64)),
+        ("attrs", JsonValue::Uint(d as u64)),
+        (
+            "threads",
+            JsonValue::Uint(rayon::current_num_threads() as u64),
+        ),
+        ("benches", JsonValue::Arr(bench_rows)),
+        (
+            "summary",
+            JsonValue::obj(vec![
+                ("selection_speedup_min", JsonValue::Num(selection_min)),
+                ("aim_round_loop_speedup", JsonValue::Num(aim_speedup)),
+            ]),
+        ),
+    ]);
+    std::fs::write(out_path, format!("{}\n", doc.to_text())).expect("write BENCH_marginal.json");
+    println!("wrote {out_path} (min selection-path speedup {selection_min:.2}x)");
+    selection_min
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -73,6 +203,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_pgm.json".to_string());
+    let marginal_out = args
+        .iter()
+        .position(|a| a == "--marginal-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_marginal.json".to_string());
     let reps = if quick { 7 } else { 31 };
 
     // --- Kernel grid: stride vs naive calibration -------------------------
@@ -202,8 +338,25 @@ fn main() {
     std::fs::write(&out_path, format!("{text}\n")).expect("write BENCH_pgm.json");
     println!("wrote {out_path} (min calibrate speedup {min_speedup:.2}x, geomean {geomean:.2}x)");
 
+    // --- Marginal engine: the synthesizer selection paths ------------------
+    let selection_min = marginal_section(quick, &marginal_out);
+
     if min_speedup < 1.0 {
         eprintln!("warning: stride kernels slower than naive on some problem");
+        std::process::exit(1);
+    }
+    // The record's target is 2x. selection_min is always set by the slowest
+    // one-shot sweep (mst-pairs, ~2.3x on the checked-in record) — the
+    // cached round-loop bench sits near 10x and never binds — so the hard
+    // exit gate is softened in --quick mode, where short reps on noisy
+    // shared CI runners can shave that sweep's ratio without any code
+    // regression.
+    let gate = if quick { 1.4 } else { 2.0 };
+    if selection_min < gate {
+        eprintln!(
+            "warning: marginal engine under the {gate:.1}x selection-path gate \
+             ({selection_min:.2}x)"
+        );
         std::process::exit(1);
     }
 }

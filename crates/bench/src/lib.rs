@@ -343,3 +343,57 @@ pub fn pgm_triples_problem(
         (0..d - 2).map(|a| vec![a, a + 1, a + 2]).collect(),
     )
 }
+
+/// Mixed-cardinality shape for the marginal-engine benches: `d` attributes
+/// cycling through small-to-medium cardinalities (the regime of the paper's
+/// social-science domains).
+pub fn marginal_bench_shape(d: usize) -> Vec<usize> {
+    const CARDS: [usize; 6] = [2, 3, 5, 7, 4, 9];
+    (0..d).map(|a| CARDS[a % CARDS.len()]).collect()
+}
+
+/// Deterministic synthetic dataset for the marginal-engine benches, shared
+/// by the criterion benches (`benches/marginal.rs`) and `perfgrid` so the
+/// checked-in `BENCH_marginal.json` record stays comparable to the
+/// interactive benches. Codes come from a SplitMix64 stream (no `rand`
+/// dependency in the bench library), mildly correlated across adjacent
+/// attributes so counting hits realistic cell distributions.
+pub fn marginal_bench_dataset(rows: usize, shape: &[usize]) -> synrd_data::Dataset {
+    let mut state = 0x243f_6a88_85a3_08d3u64; // pi digits; any fixed seed works
+    let mut next = move || -> u64 {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut columns: Vec<Vec<u32>> = Vec::with_capacity(shape.len());
+    for (a, &card) in shape.iter().enumerate() {
+        let mut col = Vec::with_capacity(rows);
+        if a == 0 {
+            for _ in 0..rows {
+                col.push((next() % card as u64) as u32);
+            }
+        } else {
+            // Couple each attribute to its predecessor half the time.
+            let prev = &columns[a - 1];
+            for &p in prev.iter() {
+                let fresh = (next() % card as u64) as u32;
+                let code = if next() % 2 == 0 {
+                    p.min(card as u32 - 1)
+                } else {
+                    fresh
+                };
+                col.push(code);
+            }
+        }
+        columns.push(col);
+    }
+    let attrs = shape
+        .iter()
+        .enumerate()
+        .map(|(i, &card)| synrd_data::Attribute::ordinal(format!("x{i}"), card))
+        .collect();
+    synrd_data::Dataset::new(synrd_data::Domain::new(attrs), columns)
+        .expect("generated codes are in range")
+}

@@ -1,0 +1,710 @@
+//! Batched, cached, parallel marginal counting — the data-side hot path of
+//! every synthesizer selection loop.
+//!
+//! The naive counter ([`Marginal::count_naive`]) walks the rows once *per
+//! marginal*, recomputing a mixed-radix index from scratch for each row with
+//! an inner loop over the attribute set. The selection loops of the
+//! synthesizers make that quadratic-to-cubic in practice: AIM re-scores the
+//! whole workload every round, MST counts all O(d²) pairwise joints, and
+//! PrivMRF/PrivBayes score mutual information over the same pairs again.
+//! True marginals of the input data never change during a fit, so all of
+//! that work is redundant across rounds and embarrassingly parallel within
+//! a pass. This module removes it in three layers:
+//!
+//! 1. **Kernel** — single-pass counting into `u64` integer accumulators
+//!    with precomputed per-attribute stride tables. One- and two-way sets
+//!    (the overwhelming majority) get specialized zipped-column loops; wider
+//!    sets accumulate mixed-radix indices column-by-column into a reusable
+//!    index scratch, so there is no per-row inner loop and no per-cell heap
+//!    allocation anywhere. [`MarginalEngine::count_many`] fuses a whole
+//!    batch of attribute sets into one chunked sweep over the columns, so a
+//!    selection loop's entire candidate pool is answered with the data
+//!    streamed through cache once per chunk.
+//! 2. **Parallelism** — row-chunked counting with per-thread scratch
+//!    histograms merged by integer addition. `u64` addition is associative
+//!    and commutative, so the merged counts are *bit-identical* to the
+//!    sequential pass (pinned by the differential proptests in
+//!    `tests/engine_equivalence.rs`), and converting an exact integer count
+//!    to `f64` equals the naive kernel's repeated `+= 1.0` exactly for any
+//!    dataset below 2^53 rows.
+//! 3. **Memoization** — a per-fit [`MarginalCache`] keyed by attribute set,
+//!    so a round loop counts each candidate at most once per fit, bounded
+//!    by a total-cell budget (FIFO eviction) so wide-domain workloads trade
+//!    hits for recounts instead of memory. The process-wide
+//!    [`marginal_counts_performed`] counter (mirroring the grid driver's
+//!    fit counter) makes the at-most-once property provable in tests.
+
+use crate::dataset::Dataset;
+use crate::domain::validate_attr_set;
+use crate::error::{DataError, Result};
+use crate::marginal::{mi_from_joint, strides_of, Marginal, DEFAULT_CELL_LIMIT};
+use rayon::prelude::*;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of marginal counting passes (one per attribute set
+/// actually counted from data; cache hits do not count).
+///
+/// Purely observational, like [`synrd::benchmark::fits_performed`]: the
+/// engine-cache tests assert that a synthesizer's round loop counts each
+/// candidate attribute set at most once per fit by reading this counter
+/// before and after a fit.
+static MARGINAL_COUNTS: AtomicU64 = AtomicU64::new(0);
+
+/// Total marginal counting passes performed by this process.
+pub fn marginal_counts_performed() -> u64 {
+    MARGINAL_COUNTS.load(Ordering::Relaxed)
+}
+
+/// Rows per chunk of a counting sweep. Chunks bound the per-thread scratch
+/// and keep a fused batch's working set (chunk of every column + all batch
+/// histograms) inside the cache hierarchy.
+const CHUNK_ROWS: usize = 1 << 16;
+
+/// Minimum rows before a sweep fans out across threads; below this the
+/// per-chunk scratch allocation outweighs the win.
+const PAR_ROW_THRESHOLD: usize = 1 << 15;
+
+/// Precomputed counting plan for one attribute set: resolved column slices,
+/// the per-attribute stride table, and the table geometry.
+struct CountPlan<'d> {
+    attrs: Vec<usize>,
+    shape: Vec<usize>,
+    strides: Vec<usize>,
+    cols: Vec<&'d [u32]>,
+    cells: usize,
+}
+
+impl<'d> CountPlan<'d> {
+    /// Validate `attrs` against `dataset` and resolve everything the kernel
+    /// needs, enforcing `cell_limit` exactly like the naive counter.
+    fn build(dataset: &'d Dataset, attrs: &[usize], cell_limit: usize) -> Result<CountPlan<'d>> {
+        validate_attr_set(dataset.domain().len(), attrs)?;
+        let cells = dataset.domain().cells(attrs)?;
+        if cells > cell_limit as u128 {
+            return Err(DataError::MarginalTooLarge {
+                cells,
+                limit: cell_limit,
+            });
+        }
+        let shape: Vec<usize> = attrs
+            .iter()
+            .map(|&a| dataset.domain().cardinality(a))
+            .collect::<Result<_>>()?;
+        let cols: Vec<&[u32]> = attrs
+            .iter()
+            .map(|&a| dataset.column(a))
+            .collect::<Result<_>>()?;
+        Ok(CountPlan {
+            attrs: attrs.to_vec(),
+            strides: strides_of(&shape),
+            shape,
+            cols,
+            cells: cells as usize,
+        })
+    }
+
+    /// Materialize a [`Marginal`] from the finished `u64` accumulator.
+    fn into_marginal(self, hist: Vec<u64>) -> Result<Marginal> {
+        Marginal::from_counts(
+            self.attrs,
+            self.shape,
+            hist.into_iter().map(|c| c as f64).collect(),
+        )
+    }
+}
+
+/// Table size up to which the bump pass spreads increments over four
+/// interleaved histogram lanes. Real data has hot cells (and correlated
+/// columns make consecutive rows hit the same cell), which serializes the
+/// read-modify-write chain on a single accumulator; four lanes break that
+/// dependency at the cost of 3 extra tables, merged by integer addition
+/// afterwards — so the result is still bit-identical. Above this limit the
+/// extra tables would pollute the cache more than the chain costs.
+const LANE_CELL_LIMIT: usize = 1 << 12;
+
+/// Reusable scratch for one counting thread: the mixed-radix index buffer
+/// (sets wider than two attributes) and the extra histogram lanes.
+#[derive(Default)]
+struct CountScratch {
+    idx: Vec<usize>,
+    lanes: Vec<u64>,
+}
+
+/// Borrow three extra lanes the same size as `hist` from `lanes`, run the
+/// counting body over `(hist, l1, l2, l3)`, then fold the lanes back into
+/// `hist` by integer addition (order-free, so still bit-identical).
+fn with_lanes(
+    hist: &mut [u64],
+    lanes: &mut Vec<u64>,
+    body: impl FnOnce(&mut [u64], &mut [u64], &mut [u64], &mut [u64]),
+) {
+    let cells = hist.len();
+    lanes.clear();
+    lanes.resize(3 * cells, 0);
+    let (l1, rest) = lanes.split_at_mut(cells);
+    let (l2, l3) = rest.split_at_mut(cells);
+    body(hist, l1, l2, l3);
+    for ((h, &a), (&b, &c)) in hist.iter_mut().zip(&*l1).zip(l2.iter().zip(&*l3)) {
+        *h += a + b + c;
+    }
+}
+
+/// Count rows `lo..hi` of one plan into `hist`.
+fn count_range(
+    plan: &CountPlan<'_>,
+    lo: usize,
+    hi: usize,
+    hist: &mut [u64],
+    scratch: &mut CountScratch,
+) {
+    let lanes = hist.len() <= LANE_CELL_LIMIT;
+    match plan.cols.as_slice() {
+        [col] => {
+            let col = &col[lo..hi];
+            if lanes {
+                with_lanes(hist, &mut scratch.lanes, |h0, l1, l2, l3| {
+                    let mut quads = col.chunks_exact(4);
+                    for q in quads.by_ref() {
+                        h0[q[0] as usize] += 1;
+                        l1[q[1] as usize] += 1;
+                        l2[q[2] as usize] += 1;
+                        l3[q[3] as usize] += 1;
+                    }
+                    for &c in quads.remainder() {
+                        h0[c as usize] += 1;
+                    }
+                });
+            } else {
+                for &c in col {
+                    hist[c as usize] += 1;
+                }
+            }
+        }
+        [ca, cb] => {
+            let stride = plan.strides[0];
+            let (ca, cb) = (&ca[lo..hi], &cb[lo..hi]);
+            if lanes {
+                with_lanes(hist, &mut scratch.lanes, |h0, l1, l2, l3| {
+                    let mut qa = ca.chunks_exact(4);
+                    let mut qb = cb.chunks_exact(4);
+                    for (a, b) in qa.by_ref().zip(qb.by_ref()) {
+                        h0[a[0] as usize * stride + b[0] as usize] += 1;
+                        l1[a[1] as usize * stride + b[1] as usize] += 1;
+                        l2[a[2] as usize * stride + b[2] as usize] += 1;
+                        l3[a[3] as usize * stride + b[3] as usize] += 1;
+                    }
+                    for (&a, &b) in qa.remainder().iter().zip(qb.remainder()) {
+                        h0[a as usize * stride + b as usize] += 1;
+                    }
+                });
+            } else {
+                for (&a, &b) in ca.iter().zip(cb) {
+                    hist[a as usize * stride + b as usize] += 1;
+                }
+            }
+        }
+        cols => {
+            // Column-major mixed-radix accumulation: one vectorizable pass
+            // per attribute into the index scratch, then one bump pass.
+            let n = hi - lo;
+            let idx = &mut scratch.idx;
+            idx.clear();
+            idx.resize(n, 0);
+            for (col, &stride) in cols.iter().zip(&plan.strides) {
+                for (i, &c) in idx.iter_mut().zip(&col[lo..hi]) {
+                    *i += c as usize * stride;
+                }
+            }
+            let idx = &scratch.idx;
+            if lanes {
+                with_lanes(hist, &mut scratch.lanes, |h0, l1, l2, l3| {
+                    let mut quads = idx.chunks_exact(4);
+                    for q in quads.by_ref() {
+                        h0[q[0]] += 1;
+                        l1[q[1]] += 1;
+                        l2[q[2]] += 1;
+                        l3[q[3]] += 1;
+                    }
+                    for &i in quads.remainder() {
+                        h0[i] += 1;
+                    }
+                });
+            } else {
+                for &i in idx {
+                    hist[i] += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Run one fused sweep over `rows` rows for a batch of plans, returning one
+/// `u64` histogram per plan. Chunked for locality; parallel across chunks
+/// when `parallel` is set. Per-thread partial histograms are merged by
+/// integer addition (associative), so the result is bit-identical to the
+/// sequential sweep regardless of chunking or thread count.
+fn sweep_plans(
+    plans: &[CountPlan<'_>],
+    rows: usize,
+    chunk_rows: usize,
+    parallel: bool,
+) -> Vec<Vec<u64>> {
+    for _ in plans {
+        MARGINAL_COUNTS.fetch_add(1, Ordering::Relaxed);
+    }
+    let chunk_rows = chunk_rows.max(1);
+    let n_chunks = rows.div_ceil(chunk_rows).max(1);
+    if !parallel || n_chunks <= 1 {
+        let mut hists: Vec<Vec<u64>> = plans.iter().map(|p| vec![0u64; p.cells]).collect();
+        let mut scratch = CountScratch::default();
+        for c in 0..n_chunks {
+            let lo = c * chunk_rows;
+            let hi = ((c + 1) * chunk_rows).min(rows);
+            for (plan, hist) in plans.iter().zip(&mut hists) {
+                count_range(plan, lo, hi, hist, &mut scratch);
+            }
+        }
+        return hists;
+    }
+    let locals: Vec<Vec<Vec<u64>>> = (0..n_chunks)
+        .into_par_iter()
+        .map(|c| {
+            let lo = c * chunk_rows;
+            let hi = ((c + 1) * chunk_rows).min(rows);
+            let mut scratch = CountScratch::default();
+            plans
+                .iter()
+                .map(|plan| {
+                    let mut hist = vec![0u64; plan.cells];
+                    count_range(plan, lo, hi, &mut hist, &mut scratch);
+                    hist
+                })
+                .collect()
+        })
+        .collect();
+    // Merge partials in chunk order (order is irrelevant for u64 addition,
+    // but determinism costs nothing).
+    let mut hists: Vec<Vec<u64>> = plans.iter().map(|p| vec![0u64; p.cells]).collect();
+    for local in locals {
+        for (hist, part) in hists.iter_mut().zip(local) {
+            for (h, p) in hist.iter_mut().zip(part) {
+                *h += p;
+            }
+        }
+    }
+    hists
+}
+
+/// Whether a sweep over `rows` rows should fan out across threads.
+fn should_parallelize(rows: usize) -> bool {
+    rows >= PAR_ROW_THRESHOLD && rayon::current_num_threads() > 1
+}
+
+/// Chunk size for a production sweep: [`CHUNK_ROWS`], grown as needed so a
+/// parallel sweep never materializes more than ~4 partial histogram sets
+/// per worker at the merge barrier (the transient memory is
+/// `n_chunks × Σ cells` until merged; chunk *size* has no effect on the
+/// counts, only on locality and that bound).
+fn production_chunk_rows(rows: usize) -> usize {
+    let max_chunks = rayon::current_num_threads().saturating_mul(4).max(1);
+    CHUNK_ROWS.max(rows.div_ceil(max_chunks))
+}
+
+/// One-shot engine-kernel count (the implementation behind
+/// [`Marginal::from_dataset`]).
+pub(crate) fn count_marginal(
+    dataset: &Dataset,
+    attrs: &[usize],
+    cell_limit: usize,
+) -> Result<Marginal> {
+    let plan = CountPlan::build(dataset, attrs, cell_limit)?;
+    let rows = dataset.n_rows();
+    let parallel = should_parallelize(rows);
+    let hist = sweep_plans(
+        std::slice::from_ref(&plan),
+        rows,
+        production_chunk_rows(rows),
+        parallel,
+    )
+    .pop()
+    .expect("one histogram per plan");
+    plan.into_marginal(hist)
+}
+
+/// Test/bench hook: count with an explicit chunk size, always taking the
+/// chunk-merge code path when more than one chunk results. Used by the
+/// differential proptests to pin parallel-vs-sequential bit-identity.
+#[doc(hidden)]
+pub fn count_marginal_chunked(
+    dataset: &Dataset,
+    attrs: &[usize],
+    cell_limit: usize,
+    chunk_rows: usize,
+) -> Result<Marginal> {
+    let plan = CountPlan::build(dataset, attrs, cell_limit)?;
+    let rows = dataset.n_rows();
+    let hist = sweep_plans(std::slice::from_ref(&plan), rows, chunk_rows, true)
+        .pop()
+        .expect("one histogram per plan");
+    plan.into_marginal(hist)
+}
+
+/// Default soft bound on the total cells a [`MarginalCache`] retains
+/// (16M `f64` cells = 128 MB). Benchmark-scale tables never come close; the
+/// bound exists so a wide-domain fit that prefetches hundreds of large pair
+/// joints degrades to recounting instead of exhausting memory.
+pub const DEFAULT_CACHE_CELL_BUDGET: usize = 1 << 24;
+
+/// Per-fit memo of counted marginals, keyed by attribute set (in the order
+/// requested — `[a, b]` and `[b, a]` are distinct tables). Bounded by a
+/// total-cell budget with FIFO eviction: hot small tables stay, and an
+/// over-budget workload trades cache hits for recounts rather than memory.
+#[derive(Debug)]
+pub struct MarginalCache {
+    map: HashMap<Vec<usize>, Marginal>,
+    /// Insertion order, for FIFO eviction (keys are unique: entries are
+    /// inserted only when absent).
+    order: VecDeque<Vec<usize>>,
+    total_cells: usize,
+    cell_budget: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl Default for MarginalCache {
+    fn default() -> Self {
+        MarginalCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            total_cells: 0,
+            cell_budget: DEFAULT_CACHE_CELL_BUDGET,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+}
+
+impl MarginalCache {
+    /// Record a freshly counted marginal (the key must be absent).
+    fn insert(&mut self, key: Vec<usize>, marginal: Marginal) {
+        debug_assert!(!self.map.contains_key(&key));
+        self.total_cells += marginal.n_cells();
+        self.order.push_back(key.clone());
+        self.map.insert(key, marginal);
+        self.misses += 1;
+    }
+
+    /// Evict oldest entries until the budget holds, sparing `keep` (the
+    /// entry a caller is about to borrow).
+    fn enforce_budget(&mut self, keep: &[usize]) {
+        while self.total_cells > self.cell_budget && self.order.len() > 1 {
+            let victim = self.order.pop_front().expect("len checked above");
+            if victim == keep {
+                self.order.push_back(victim);
+                continue;
+            }
+            if let Some(evicted) = self.map.remove(&victim) {
+                self.total_cells -= evicted.n_cells();
+                self.evictions += 1;
+            }
+        }
+    }
+
+    /// Cache lookups that were served without touching the data.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache lookups that required a counting pass.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Entries dropped to stay under the cell budget.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Number of distinct attribute sets cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing has been counted yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Batched, cached, parallel marginal counter over one dataset.
+///
+/// Synthesizers hold one engine per fit: every true-data marginal a
+/// selection loop needs goes through [`count`](MarginalEngine::count) (or is
+/// warmed in bulk by [`prefetch`](MarginalEngine::prefetch) /
+/// [`count_many`](MarginalEngine::count_many)), so repeated rounds hit the
+/// [`MarginalCache`] instead of rescanning the data.
+pub struct MarginalEngine<'d> {
+    data: &'d Dataset,
+    cell_limit: usize,
+    cache: MarginalCache,
+}
+
+impl<'d> MarginalEngine<'d> {
+    /// Engine over `data` with [`DEFAULT_CELL_LIMIT`].
+    pub fn new(data: &'d Dataset) -> MarginalEngine<'d> {
+        MarginalEngine::with_cell_limit(data, DEFAULT_CELL_LIMIT)
+    }
+
+    /// Engine over `data` refusing tables larger than `cell_limit` cells.
+    pub fn with_cell_limit(data: &'d Dataset, cell_limit: usize) -> MarginalEngine<'d> {
+        MarginalEngine {
+            data,
+            cell_limit,
+            cache: MarginalCache::default(),
+        }
+    }
+
+    /// Override the cache's total-cell budget (see
+    /// [`DEFAULT_CACHE_CELL_BUDGET`]); mainly for tests and memory-tight
+    /// callers.
+    pub fn with_cache_budget(mut self, cells: usize) -> MarginalEngine<'d> {
+        self.cache.cell_budget = cells;
+        self
+    }
+
+    /// The dataset this engine counts over.
+    pub fn dataset(&self) -> &'d Dataset {
+        self.data
+    }
+
+    /// Cache statistics for this fit.
+    pub fn cache(&self) -> &MarginalCache {
+        &self.cache
+    }
+
+    /// The true marginal of `attrs`, counted at most once per engine.
+    ///
+    /// # Errors
+    /// Same contract as [`Marginal::from_dataset`].
+    pub fn count(&mut self, attrs: &[usize]) -> Result<&Marginal> {
+        if self.cache.map.contains_key(attrs) {
+            self.cache.hits += 1;
+        } else {
+            let marginal = count_marginal(self.data, attrs, self.cell_limit)?;
+            self.cache.insert(attrs.to_vec(), marginal);
+            self.cache.enforce_budget(attrs);
+        }
+        Ok(self
+            .cache
+            .map
+            .get(attrs)
+            .expect("present: hit or just inserted"))
+    }
+
+    /// Warm the cache for a whole batch of attribute sets with fused sweeps:
+    /// the not-yet-cached sets are grouped and counted together, so the data
+    /// is streamed through cache once per chunk for the entire group rather
+    /// than once per set.
+    ///
+    /// # Errors
+    /// Fails on the first invalid or oversized set (in batch order), leaving
+    /// previously cached sets intact and counting nothing.
+    pub fn prefetch(&mut self, sets: &[Vec<usize>]) -> Result<()> {
+        // Plan every uncached set up front so validation errors surface in
+        // batch order before any counting work happens.
+        let mut pending: Vec<CountPlan<'d>> = Vec::new();
+        for attrs in sets {
+            if self.cache.map.contains_key(attrs.as_slice())
+                || pending.iter().any(|p| &p.attrs == attrs)
+            {
+                continue;
+            }
+            pending.push(CountPlan::build(self.data, attrs, self.cell_limit)?);
+        }
+        if pending.is_empty() {
+            return Ok(());
+        }
+        let rows = self.data.n_rows();
+        let parallel = should_parallelize(rows);
+        // Bound a group's scratch: every set fits `cell_limit` individually,
+        // so cap the fused batch at the same total.
+        let mut group: Vec<CountPlan<'d>> = Vec::new();
+        let mut group_cells = 0usize;
+        let flush = |group: &mut Vec<CountPlan<'d>>, cache: &mut MarginalCache| -> Result<()> {
+            if group.is_empty() {
+                return Ok(());
+            }
+            let hists = sweep_plans(group, rows, production_chunk_rows(rows), parallel);
+            for (plan, hist) in group.drain(..).zip(hists) {
+                let key = plan.attrs.clone();
+                let marginal = plan.into_marginal(hist)?;
+                cache.insert(key, marginal);
+            }
+            cache.enforce_budget(&[]);
+            Ok(())
+        };
+        for plan in pending {
+            if !group.is_empty() && group_cells + plan.cells > self.cell_limit {
+                flush(&mut group, &mut self.cache)?;
+                group_cells = 0;
+            }
+            group_cells += plan.cells;
+            group.push(plan);
+        }
+        flush(&mut group, &mut self.cache)?;
+        Ok(())
+    }
+
+    /// Count a whole batch of attribute sets in fused sweeps, returning the
+    /// marginals in request order (cloned out of the cache, which keeps
+    /// serving later [`count`](MarginalEngine::count) calls).
+    ///
+    /// # Errors
+    /// Same contract as [`prefetch`](MarginalEngine::prefetch).
+    pub fn count_many(&mut self, sets: &[Vec<usize>]) -> Result<Vec<Marginal>> {
+        self.prefetch(sets)?;
+        sets.iter()
+            .map(|attrs| Ok(self.count(attrs)?.clone()))
+            .collect()
+    }
+
+    /// Empirical mutual information between attributes `a` and `b`, with the
+    /// joint served from the cache (bit-identical to
+    /// [`crate::mutual_information`]).
+    pub fn mutual_information(&mut self, a: usize, b: usize) -> Result<f64> {
+        let joint = self.count(&[a, b])?;
+        mi_from_joint(joint)
+    }
+}
+
+impl std::fmt::Debug for MarginalEngine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MarginalEngine")
+            .field("rows", &self.data.n_rows())
+            .field("cell_limit", &self.cell_limit)
+            .field("cached", &self.cache.len())
+            .field("hits", &self.cache.hits)
+            .field("misses", &self.cache.misses)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::Attribute;
+    use crate::domain::Domain;
+
+    fn toy(rows: usize) -> Dataset {
+        let domain = Domain::new(vec![
+            Attribute::binary("x"),
+            Attribute::ordinal("y", 3),
+            Attribute::ordinal("z", 4),
+        ]);
+        let mut ds = Dataset::with_capacity(domain, rows);
+        for r in 0..rows {
+            ds.push_row(&[(r % 2) as u32, (r % 3) as u32, ((r * 7) % 4) as u32])
+                .unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn engine_matches_naive_count() {
+        let ds = toy(257);
+        let mut engine = MarginalEngine::new(&ds);
+        for attrs in [vec![0], vec![1], vec![0, 1], vec![2, 0], vec![0, 1, 2]] {
+            let fast = engine.count(&attrs).unwrap().clone();
+            let naive = Marginal::count_naive(&ds, &attrs).unwrap();
+            assert_eq!(fast, naive, "attrs {attrs:?}");
+        }
+    }
+
+    #[test]
+    fn cache_serves_repeats_without_recounting() {
+        let ds = toy(64);
+        let mut engine = MarginalEngine::new(&ds);
+        engine.count(&[0, 1]).unwrap();
+        engine.count(&[0, 1]).unwrap();
+        engine.count(&[0, 1]).unwrap();
+        // Per-engine stats (race-free under the parallel test harness,
+        // unlike the process-wide counter): one counting pass, two hits.
+        assert_eq!(engine.cache().hits(), 2);
+        assert_eq!(engine.cache().misses(), 1);
+    }
+
+    #[test]
+    fn count_many_matches_individual_counts() {
+        let ds = toy(123);
+        let sets = vec![vec![0], vec![1], vec![2], vec![0, 2], vec![1, 2]];
+        let mut engine = MarginalEngine::new(&ds);
+        let batch = engine.count_many(&sets).unwrap();
+        for (attrs, m) in sets.iter().zip(&batch) {
+            assert_eq!(m, &Marginal::count_naive(&ds, attrs).unwrap());
+        }
+        // The batch itself cost one pass per set; re-requesting costs none.
+        assert_eq!(engine.cache().misses(), sets.len() as u64);
+        engine.count_many(&sets).unwrap();
+        assert_eq!(engine.cache().misses(), sets.len() as u64);
+    }
+
+    #[test]
+    fn prefetch_errors_leave_cache_usable() {
+        let ds = toy(32);
+        let mut engine = MarginalEngine::with_cell_limit(&ds, 4);
+        // [1, 2] has 12 cells > 4: the whole batch fails before counting.
+        let err = engine.prefetch(&[vec![0], vec![1, 2]]).unwrap_err();
+        assert!(matches!(err, DataError::MarginalTooLarge { .. }));
+        assert!(engine.cache().is_empty());
+        // The engine still counts what fits.
+        assert_eq!(engine.count(&[0]).unwrap().total(), 32.0);
+    }
+
+    #[test]
+    fn engine_mi_matches_free_function() {
+        let ds = toy(300);
+        let mut engine = MarginalEngine::new(&ds);
+        let via_engine = engine.mutual_information(1, 2).unwrap();
+        let direct = crate::mutual_information(&ds, 1, 2).unwrap();
+        assert_eq!(via_engine.to_bits(), direct.to_bits());
+    }
+
+    #[test]
+    fn cache_budget_evicts_fifo_but_answers_stay_correct() {
+        let ds = toy(90);
+        // Budget of 8 cells: the 2-way tables (6, 8, 12 cells) cannot all
+        // stay resident; the newest entry always survives.
+        let mut engine = MarginalEngine::new(&ds).with_cache_budget(8);
+        let sets = [vec![0, 1], vec![0, 2], vec![1, 2]];
+        for _ in 0..3 {
+            for attrs in &sets {
+                let fast = engine.count(attrs).unwrap().clone();
+                assert_eq!(fast, Marginal::count_naive(&ds, attrs).unwrap());
+            }
+        }
+        assert!(engine.cache().evictions() > 0);
+        // Retained cells never exceed budget + the most recent entry.
+        assert!(engine.cache().len() <= 2);
+        // Unbudgeted engine on the same loop makes exactly 3 passes.
+        let mut roomy = MarginalEngine::new(&ds);
+        for _ in 0..3 {
+            for attrs in &sets {
+                roomy.count(attrs).unwrap();
+            }
+        }
+        assert_eq!(roomy.cache().misses(), 3);
+        assert_eq!(roomy.cache().hits(), 6);
+    }
+
+    #[test]
+    fn empty_dataset_counts_to_zero() {
+        let ds = toy(0);
+        let mut engine = MarginalEngine::new(&ds);
+        let m = engine.count(&[0, 1]).unwrap();
+        assert_eq!(m.total(), 0.0);
+        assert_eq!(m.n_cells(), 6);
+    }
+}

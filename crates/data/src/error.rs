@@ -21,6 +21,9 @@ pub enum DataError {
     RaggedColumns,
     /// A marginal over the requested attributes would be too large to materialize.
     MarginalTooLarge { cells: u128, limit: usize },
+    /// Two marginals disagreed on shape where a cell-wise comparison was
+    /// required (e.g. [`crate::Marginal::l1_distance`]).
+    ShapeMismatch { left: Vec<usize>, right: Vec<usize> },
     /// The requested attribute set was empty where at least one attribute is required.
     EmptyAttributeSet,
     /// An attribute was repeated in a set that requires distinct attributes.
@@ -58,6 +61,9 @@ impl fmt::Display for DataError {
                     f,
                     "marginal would have {cells} cells, over the limit of {limit}"
                 )
+            }
+            DataError::ShapeMismatch { left, right } => {
+                write!(f, "marginal shapes differ: {left:?} vs {right:?}")
             }
             DataError::EmptyAttributeSet => write!(f, "attribute set must be non-empty"),
             DataError::DuplicateAttribute(idx) => {

@@ -9,6 +9,8 @@
 //!   resampling;
 //! * [`Marginal`] — dense contingency tables with mixed-radix indexing, plus
 //!   empirical [`mutual_information`];
+//! * [`MarginalEngine`] — the batched, cached, parallel counting engine the
+//!   synthesizer selection loops run on (see `engine`);
 //! * [`metafeatures`] — the Table 1 dataset characterization (outliers,
 //!   mutual information, skewness, sparsity);
 //! * [`generators`] — deterministic synthetic populations standing in for the
@@ -19,6 +21,7 @@ pub mod attribute;
 pub mod csv;
 pub mod dataset;
 pub mod domain;
+pub mod engine;
 pub mod error;
 pub mod generators;
 pub mod marginal;
@@ -27,6 +30,7 @@ pub mod metafeatures;
 pub use attribute::{AttrKind, Attribute};
 pub use dataset::{Dataset, RowRef};
 pub use domain::Domain;
+pub use engine::{marginal_counts_performed, MarginalCache, MarginalEngine};
 pub use error::{DataError, Result};
 pub use generators::BenchmarkDataset;
 pub use marginal::{mutual_information, Marginal, DEFAULT_CELL_LIMIT};

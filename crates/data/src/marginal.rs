@@ -5,10 +5,19 @@
 //! to. Cells are laid out row-major over the attribute subset, so the table
 //! for attributes `[a, b]` with shapes `[3, 4]` has 12 cells and cell
 //! `(i, j)` lives at `i * 4 + j`.
+//!
+//! Counting from data routes through the engine kernel
+//! ([`crate::engine`]): integer accumulators, specialized one/two-way
+//! loops, chunk-parallel sweeps. The original per-row counter and the
+//! per-cell projection are retained as `count_naive` / `project_naive`
+//! behind `cfg(any(test, feature = "naive-reference"))` — the differential
+//! oracle the equivalence proptests pin the kernels against.
 
 use crate::dataset::Dataset;
-use crate::domain::validate_attr_set;
 use crate::error::{DataError, Result};
+
+#[cfg(any(test, feature = "naive-reference"))]
+use crate::domain::validate_attr_set;
 
 /// Default cap on materialized marginal cells (4M cells = 32 MB of `f64`).
 pub const DEFAULT_CELL_LIMIT: usize = 1 << 22;
@@ -39,6 +48,23 @@ impl Marginal {
     /// [`DataError::MarginalTooLarge`] when over the limit, plus the usual
     /// attribute-set validation errors.
     pub fn from_dataset(dataset: &Dataset, attrs: &[usize], cell_limit: usize) -> Result<Self> {
+        crate::engine::count_marginal(dataset, attrs, cell_limit)
+    }
+
+    /// Count a marginal using [`DEFAULT_CELL_LIMIT`].
+    pub fn count(dataset: &Dataset, attrs: &[usize]) -> Result<Self> {
+        Self::from_dataset(dataset, attrs, DEFAULT_CELL_LIMIT)
+    }
+
+    /// The original per-row counter: one mixed-radix index rebuilt from
+    /// scratch per row with an inner loop over the attribute set. Retained
+    /// verbatim as the differential oracle for the engine kernel.
+    #[cfg(any(test, feature = "naive-reference"))]
+    pub fn from_dataset_naive(
+        dataset: &Dataset,
+        attrs: &[usize],
+        cell_limit: usize,
+    ) -> Result<Self> {
         validate_attr_set(dataset.domain().len(), attrs)?;
         let cells = dataset.domain().cells(attrs)?;
         if cells > cell_limit as u128 {
@@ -74,9 +100,10 @@ impl Marginal {
         })
     }
 
-    /// Count a marginal using [`DEFAULT_CELL_LIMIT`].
-    pub fn count(dataset: &Dataset, attrs: &[usize]) -> Result<Self> {
-        Self::from_dataset(dataset, attrs, DEFAULT_CELL_LIMIT)
+    /// Naive-oracle counterpart of [`Marginal::count`].
+    #[cfg(any(test, feature = "naive-reference"))]
+    pub fn count_naive(dataset: &Dataset, attrs: &[usize]) -> Result<Self> {
+        Self::from_dataset_naive(dataset, attrs, DEFAULT_CELL_LIMIT)
     }
 
     /// Build a marginal from raw parts (e.g. after adding noise).
@@ -162,7 +189,57 @@ impl Marginal {
 
     /// Sum out all attributes except those at `keep_positions` (positions
     /// into this marginal's attribute list, preserving order).
+    ///
+    /// Walks the source table once with an incremental odometer: the
+    /// projected index is updated per step from a precomputed per-dimension
+    /// stride map, so no code vector is allocated per cell (the cost that
+    /// made `mutual_information` allocation-bound). Cells are visited in the
+    /// same row-major order as the naive per-cell decode, so the summed
+    /// `f64` counts are bit-identical to [`Marginal::project_naive`].
     pub fn project(&self, keep_positions: &[usize]) -> Result<Marginal> {
+        for &p in keep_positions {
+            if p >= self.shape.len() {
+                return Err(DataError::AttributeIndexOutOfBounds {
+                    index: p,
+                    len: self.shape.len(),
+                });
+            }
+        }
+        let new_attrs: Vec<usize> = keep_positions.iter().map(|&p| self.attrs[p]).collect();
+        let new_shape: Vec<usize> = keep_positions.iter().map(|&p| self.shape[p]).collect();
+        let new_strides = strides_of(&new_shape);
+        let mut new_counts = vec![0.0; new_shape.iter().product()];
+        // Per source dimension: how much the projected index moves when that
+        // dimension's code increments (summed, so repeated keep positions
+        // contribute exactly as the naive decode does).
+        let d = self.shape.len();
+        let mut proj_stride = vec![0usize; d];
+        for (k, &p) in keep_positions.iter().enumerate() {
+            proj_stride[p] += new_strides[k];
+        }
+        let mut codes = vec![0usize; d];
+        let mut new_idx = 0usize;
+        for &c in &self.counts {
+            new_counts[new_idx] += c;
+            // Odometer increment, last dimension fastest (row-major).
+            for k in (0..d).rev() {
+                codes[k] += 1;
+                new_idx += proj_stride[k];
+                if codes[k] < self.shape[k] {
+                    break;
+                }
+                codes[k] = 0;
+                new_idx -= self.shape[k] * proj_stride[k];
+            }
+        }
+        Marginal::from_counts(new_attrs, new_shape, new_counts)
+    }
+
+    /// The original projection: decode every cell index into a code vector,
+    /// re-encode under the kept positions. Differential oracle for
+    /// [`Marginal::project`].
+    #[cfg(any(test, feature = "naive-reference"))]
+    pub fn project_naive(&self, keep_positions: &[usize]) -> Result<Marginal> {
         for &p in keep_positions {
             if p >= self.shape.len() {
                 return Err(DataError::AttributeIndexOutOfBounds {
@@ -188,20 +265,28 @@ impl Marginal {
 
     /// L1 distance between the normalized distributions of two same-shape
     /// marginals (total variation distance × 2).
-    pub fn l1_distance(&self, other: &Marginal) -> f64 {
+    ///
+    /// # Errors
+    /// [`DataError::ShapeMismatch`] when the tables disagree on shape — the
+    /// cell-wise difference is meaningless then, and the old silent zip
+    /// truncation under-reported the distance.
+    pub fn l1_distance(&self, other: &Marginal) -> Result<f64> {
+        if self.shape != other.shape {
+            return Err(DataError::ShapeMismatch {
+                left: self.shape.clone(),
+                right: other.shape.clone(),
+            });
+        }
         let a = self.normalized();
         let b = other.normalized();
-        a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum()
+        Ok(a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum())
     }
 }
 
-/// Empirical mutual information (nats) between two attributes of a dataset.
-///
-/// `I(X;Y) = Σ p(x,y) ln( p(x,y) / (p(x) p(y)) )`, the quantity MST,
-/// PrivBayes and PrivMRF use to score candidate pairs, and the Table 1
-/// meta-feature.
-pub fn mutual_information(dataset: &Dataset, a: usize, b: usize) -> Result<f64> {
-    let joint = Marginal::count(dataset, &[a, b])?;
+/// Empirical mutual information (nats) of a 2-way marginal: the shared
+/// computation behind [`mutual_information`] and
+/// [`crate::engine::MarginalEngine::mutual_information`].
+pub(crate) fn mi_from_joint(joint: &Marginal) -> Result<f64> {
     let pa = joint.project(&[0])?.normalized();
     let pb = joint.project(&[1])?.normalized();
     let pj = joint.normalized();
@@ -221,6 +306,16 @@ pub fn mutual_information(dataset: &Dataset, a: usize, b: usize) -> Result<f64> 
     }
     // Clamp tiny negative rounding noise.
     Ok(mi.max(0.0))
+}
+
+/// Empirical mutual information (nats) between two attributes of a dataset.
+///
+/// `I(X;Y) = Σ p(x,y) ln( p(x,y) / (p(x) p(y)) )`, the quantity MST,
+/// PrivBayes and PrivMRF use to score candidate pairs, and the Table 1
+/// meta-feature.
+pub fn mutual_information(dataset: &Dataset, a: usize, b: usize) -> Result<f64> {
+    let joint = Marginal::count(dataset, &[a, b])?;
+    mi_from_joint(&joint)
 }
 
 #[cfg(test)]
@@ -247,6 +342,17 @@ mod tests {
     }
 
     #[test]
+    fn count_matches_naive_oracle() {
+        let ds = toy();
+        for attrs in [vec![0], vec![1], vec![0, 1], vec![1, 0]] {
+            assert_eq!(
+                Marginal::count(&ds, &attrs).unwrap(),
+                Marginal::count_naive(&ds, &attrs).unwrap()
+            );
+        }
+    }
+
+    #[test]
     fn projection_matches_direct_count() {
         let ds = toy();
         let joint = Marginal::count(&ds, &[0, 1]).unwrap();
@@ -254,6 +360,17 @@ mod tests {
         let direct = Marginal::count(&ds, &[1]).unwrap();
         assert_eq!(via_project.counts(), direct.counts());
         assert_eq!(via_project.attrs(), &[1]);
+    }
+
+    #[test]
+    fn projection_matches_naive_including_duplicates() {
+        let ds = toy();
+        let joint = Marginal::count(&ds, &[0, 1]).unwrap();
+        for keep in [vec![], vec![0], vec![1], vec![0, 1], vec![1, 0], vec![0, 0]] {
+            let fast = joint.project(&keep).unwrap();
+            let naive = joint.project_naive(&keep).unwrap();
+            assert_eq!(fast, naive, "keep {keep:?}");
+        }
     }
 
     #[test]
@@ -266,6 +383,22 @@ mod tests {
 
         let zero = Marginal::from_counts(vec![0], vec![4], vec![0.0; 4]).unwrap();
         assert_eq!(zero.normalized(), vec![0.25; 4]);
+    }
+
+    #[test]
+    fn l1_distance_rejects_shape_mismatch() {
+        let a = Marginal::from_counts(vec![0], vec![4], vec![1.0; 4]).unwrap();
+        let b = Marginal::from_counts(vec![0], vec![3], vec![1.0; 3]).unwrap();
+        assert!(matches!(
+            a.l1_distance(&b),
+            Err(DataError::ShapeMismatch { .. })
+        ));
+        // Same shape still works and is symmetric.
+        let c = Marginal::from_counts(vec![0], vec![4], vec![0.0, 2.0, 1.0, 1.0]).unwrap();
+        let d1 = a.l1_distance(&c).unwrap();
+        let d2 = c.l1_distance(&a).unwrap();
+        assert!((d1 - d2).abs() < 1e-15);
+        assert!(d1 > 0.0);
     }
 
     #[test]
@@ -289,6 +422,10 @@ mod tests {
         let ds = toy();
         assert!(matches!(
             Marginal::from_dataset(&ds, &[0, 1], 4),
+            Err(DataError::MarginalTooLarge { .. })
+        ));
+        assert!(matches!(
+            Marginal::from_dataset_naive(&ds, &[0, 1], 4),
             Err(DataError::MarginalTooLarge { .. })
         ));
     }

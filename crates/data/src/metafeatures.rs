@@ -19,8 +19,8 @@
 
 use crate::attribute::AttrKind;
 use crate::dataset::Dataset;
+use crate::engine::MarginalEngine;
 use crate::error::Result;
-use crate::marginal::mutual_information;
 
 /// Mean/standard-deviation pair used by several meta-features.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -106,13 +106,22 @@ pub fn outlier_count(dataset: &Dataset) -> Result<usize> {
 }
 
 /// Mean ± std of pairwise mutual information over all unordered pairs.
+///
+/// All pair joints are counted in one fused engine sweep over the data,
+/// then each MI is computed from the cached table.
 pub fn pairwise_mi(dataset: &Dataset) -> Result<MeanStd> {
     let k = dataset.n_attrs();
-    let mut values = Vec::with_capacity(k * (k.saturating_sub(1)) / 2);
+    let mut pairs = Vec::with_capacity(k * (k.saturating_sub(1)) / 2);
     for a in 0..k {
         for b in (a + 1)..k {
-            values.push(mutual_information(dataset, a, b)?);
+            pairs.push(vec![a, b]);
         }
+    }
+    let mut engine = MarginalEngine::new(dataset);
+    engine.prefetch(&pairs)?;
+    let mut values = Vec::with_capacity(pairs.len());
+    for pair in &pairs {
+        values.push(engine.mutual_information(pair[0], pair[1])?);
     }
     Ok(MeanStd::of(&values))
 }

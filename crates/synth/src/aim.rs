@@ -14,7 +14,7 @@ use crate::workload::{all_pairs_under, WorkloadQuery};
 use crate::Synthesizer;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use synrd_data::{Dataset, Domain, Marginal};
+use synrd_data::{Dataset, Domain, MarginalEngine};
 use synrd_dp::{derive_seed, exponential_epsilon, exponential_mechanism, Accountant, Privacy};
 use synrd_pgm::{
     estimate_with, CalibrationWorkspace, EstimationOptions, FittedModel, JunctionTree, TreeSampler,
@@ -77,12 +77,17 @@ impl Synthesizer for Aim {
         let d = data.n_attrs();
         let shape = data.domain().shape();
 
+        // One marginal engine per fit: the true data never changes during a
+        // fit, so every candidate the round loop scores is counted at most
+        // once and served from the cache thereafter.
+        let mut engine = MarginalEngine::new(data);
+
         // Initialization: all 1-way marginals with 10% of the budget.
         let rho_init = 0.10 * total / d as f64;
         let mut measurements = Vec::with_capacity(d + self.options.rounds);
         for a in 0..d {
             accountant.spend(rho_init)?;
-            measurements.push(measure_gaussian(data, &[a], rho_init, &mut rng)?);
+            measurements.push(measure_gaussian(&mut engine, &[a], rho_init, &mut rng)?);
         }
         let est_opts = |iters: usize, cell_limit: usize| EstimationOptions {
             iterations: iters,
@@ -110,7 +115,22 @@ impl Synthesizer for Aim {
 
         // Rounds: half of each round's slice selects, half measures.
         let rounds = self.options.rounds.min(workload.len());
-        let mut chosen_sets: Vec<Vec<usize>> = Vec::with_capacity(rounds);
+        // Round 0 scores every workload query, so warm the cache for the
+        // whole pool in one fused sweep over the data; later rounds are pure
+        // cache hits.
+        if rounds > 0 {
+            let sets: Vec<Vec<usize>> = workload.iter().map(|q| q.attrs.clone()).collect();
+            engine.prefetch(&sets)?;
+        }
+        let mut chosen_sets: Vec<Vec<usize>> = Vec::with_capacity(rounds + 1);
+        // Candidates proven intractable are never re-probed: adding a chosen
+        // set only adds edges to the moral graph, so the minimum-size
+        // triangulation only grows as the fit proceeds. (The min-fill
+        // *heuristic* is not strictly monotone, so in principle a doomed
+        // candidate could luck into a smaller tree after more sets are
+        // chosen; we accept that cliff-edge case to avoid rebuilding the
+        // tree for every doomed candidate every round.)
+        let mut infeasible = vec![false; workload.len()];
         for round in 0..rounds {
             let remaining = accountant.remaining();
             if remaining <= 1e-12 {
@@ -125,17 +145,23 @@ impl Synthesizer for Aim {
             // expected noise cost of measuring (AIM's utility function).
             let mut cand: Vec<&WorkloadQuery> = Vec::new();
             let mut scores: Vec<f64> = Vec::new();
-            for q in &workload {
-                if chosen_sets.iter().any(|s| s == &q.attrs) {
+            for (qi, q) in workload.iter().enumerate() {
+                if infeasible[qi] || chosen_sets.iter().any(|s| s == &q.attrs) {
                     continue;
                 }
                 // Junction-tree guard: adding this set must stay tractable.
-                let mut sets = chosen_sets.clone();
-                sets.push(q.attrs.clone());
-                if JunctionTree::build(&shape, &sets, self.options.cell_limit).is_err() {
+                // `chosen_sets` doubles as the scratch — push the candidate,
+                // probe, pop — instead of cloning the whole set list per
+                // candidate per round.
+                chosen_sets.push(q.attrs.clone());
+                let feasible =
+                    JunctionTree::build(&shape, &chosen_sets, self.options.cell_limit).is_ok();
+                chosen_sets.pop();
+                if !feasible {
+                    infeasible[qi] = true;
                     continue;
                 }
-                let true_counts = Marginal::count(data, &q.attrs)?;
+                let true_counts = engine.count(&q.attrs)?;
                 let n = true_counts.total();
                 let model_probs = model.marginal_or_independent(&q.attrs)?;
                 let l1: f64 = true_counts
@@ -159,7 +185,12 @@ impl Synthesizer for Aim {
             let attrs = cand[pick].attrs.clone();
 
             accountant.spend(rho_measure)?;
-            measurements.push(measure_gaussian(data, &attrs, rho_measure, &mut rng)?);
+            measurements.push(measure_gaussian(
+                &mut engine,
+                &attrs,
+                rho_measure,
+                &mut rng,
+            )?);
             chosen_sets.push(attrs);
             model = estimate_with(
                 &shape,

@@ -2,19 +2,21 @@
 
 use crate::error::Result;
 use rand::rngs::StdRng;
-use synrd_data::{Dataset, Domain, Marginal};
+use synrd_data::{Dataset, Domain, MarginalEngine};
 use synrd_dp::{gaussian_mechanism, gaussian_sigma};
 use synrd_pgm::NoisyMeasurement;
 
-/// Count the marginal of `attrs`, add ρ-zCDP Gaussian noise (L2 sensitivity
-/// 1 for a disjoint histogram), and package it for PGM estimation.
+/// Count the marginal of `attrs` through the fit's [`MarginalEngine`] (a
+/// cache hit when a selection loop already scored the set), add ρ-zCDP
+/// Gaussian noise (L2 sensitivity 1 for a disjoint histogram) to a copy of
+/// the true counts, and package it for PGM estimation.
 pub(crate) fn measure_gaussian(
-    data: &Dataset,
+    engine: &mut MarginalEngine<'_>,
     attrs: &[usize],
     rho: f64,
     rng: &mut StdRng,
 ) -> Result<NoisyMeasurement> {
-    let marginal = Marginal::count(data, attrs)?;
+    let marginal = engine.count(attrs)?;
     let mut values = marginal.counts().to_vec();
     let sigma = gaussian_mechanism(&mut values, 1.0, rho, rng)?;
     Ok(NoisyMeasurement {

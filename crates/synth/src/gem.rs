@@ -17,7 +17,7 @@ use crate::Synthesizer;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
-use synrd_data::{Dataset, Domain, Marginal};
+use synrd_data::{Dataset, Domain, MarginalEngine};
 use synrd_dp::{derive_seed, exponential_epsilon, exponential_mechanism, Accountant, Privacy};
 use synrd_pgm::NoisyMeasurement;
 
@@ -155,12 +155,17 @@ impl Synthesizer for Gem {
         let shape = data.domain().shape();
         let n = data.n_rows() as f64;
 
+        // One marginal engine per fit: every adaptive round re-scores the
+        // whole workload against the same true counts, so each pair is
+        // counted once and cached.
+        let mut engine = MarginalEngine::new(data);
+
         // Warm start: all 1-way marginals on 20% of the budget.
         let rho_one = 0.20 * total / d as f64;
         let mut measured: Vec<(NoisyMeasurement, f64)> = Vec::new(); // (measurement, weight)
         for a in 0..d {
             accountant.spend(rho_one)?;
-            let m = measure_gaussian(data, &[a], rho_one, &mut rng)?;
+            let m = measure_gaussian(&mut engine, &[a], rho_one, &mut rng)?;
             let w = 1.0 / m.sigma.powi(2);
             measured.push((m, w));
         }
@@ -180,8 +185,13 @@ impl Synthesizer for Gem {
             self.options.learning_rate,
         );
 
-        // Adaptive rounds on the remaining 80%.
+        // Adaptive rounds on the remaining 80%. Round 0 scores every pair,
+        // so count the whole workload in one fused sweep up front.
         let rounds = self.options.rounds.min(workload.len());
+        if rounds > 0 {
+            let sets: Vec<Vec<usize>> = workload.iter().map(|q| q.attrs.clone()).collect();
+            engine.prefetch(&sets)?;
+        }
         let mut chosen: Vec<Vec<usize>> = Vec::new();
         for round in 0..rounds {
             let remaining = accountant.remaining();
@@ -198,7 +208,7 @@ impl Synthesizer for Gem {
                 if chosen.contains(&q.attrs) {
                     continue;
                 }
-                let true_counts = Marginal::count(data, &q.attrs)?;
+                let true_counts = engine.count(&q.attrs)?;
                 let model_probs = model.marginal(&q.attrs);
                 let l1: f64 = true_counts
                     .counts()
@@ -218,7 +228,7 @@ impl Synthesizer for Gem {
             let attrs = cands[pick].clone();
 
             accountant.spend(rho_measure)?;
-            let m = measure_gaussian(data, &attrs, rho_measure, &mut rng)?;
+            let m = measure_gaussian(&mut engine, &attrs, rho_measure, &mut rng)?;
             let w = 1.0 / m.sigma.powi(2);
             measured.push((m, w));
             chosen.push(attrs);

@@ -227,7 +227,7 @@ mod tests {
         let sample = synth.sample(8000, 17).unwrap();
         let real = Marginal::count(&data, &[0, 1]).unwrap();
         let fake = Marginal::count(&sample, &[0, 1]).unwrap();
-        let l1 = real.l1_distance(&fake);
+        let l1 = real.l1_distance(&fake).unwrap();
         assert!(l1 < 0.12, "pair L1 = {l1:.4}");
     }
 

@@ -13,10 +13,11 @@
 
 use crate::common::{check_domain_limit, dataset_from_columns, measure_gaussian};
 use crate::error::{Result, SynthError};
+use crate::workload::all_pairs;
 use crate::Synthesizer;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use synrd_data::{Dataset, Domain, Marginal};
+use synrd_data::{Dataset, Domain, Marginal, MarginalEngine};
 use synrd_dp::{derive_seed, exponential_epsilon, exponential_mechanism, Accountant, Privacy};
 use synrd_pgm::{
     estimate_with, CalibrationWorkspace, EstimationOptions, FittedModel, TreeSampler, UnionFind,
@@ -77,13 +78,18 @@ impl Synthesizer for Mst {
         let total = accountant.total();
         let d = data.n_attrs();
 
+        // One marginal engine per fit: phase 2 counts all O(d²) pairwise
+        // joints in fused sweeps, and phase 3's tree-edge measurements are
+        // then pure cache hits.
+        let mut engine = MarginalEngine::new(data);
+
         // Phase 1: all 1-way marginals at rho/3.
         let rho_one = total / 3.0 / d as f64;
         let mut measurements = Vec::with_capacity(2 * d);
         let mut one_way_probs: Vec<Vec<f64>> = Vec::with_capacity(d);
         for a in 0..d {
             accountant.spend(rho_one)?;
-            let m = measure_gaussian(data, &[a], rho_one, &mut rng)?;
+            let m = measure_gaussian(&mut engine, &[a], rho_one, &mut rng)?;
             let marg = Marginal::from_counts(
                 vec![a],
                 vec![data.domain().cardinality(a)?],
@@ -94,13 +100,19 @@ impl Synthesizer for Mst {
         }
 
         // Phase 2: private maximum spanning tree (rho/3 across d-1 picks).
+        // All pairwise joints are counted in one fused sweep over the data.
         let n = data.n_rows() as f64;
+        let pair_sets: Vec<Vec<usize>> = all_pairs(data.domain())
+            .into_iter()
+            .map(|q| q.attrs)
+            .collect();
+        engine.prefetch(&pair_sets)?;
         let mut edge_scores: Vec<(usize, usize, f64)> = Vec::with_capacity(d * (d - 1) / 2);
         for a in 0..d {
             for b in (a + 1)..d {
                 // L1 gap between true pair counts and the independent
                 // approximation from the (noisy, already-paid-for) 1-ways.
-                let joint = Marginal::count(data, &[a, b])?;
+                let joint = engine.count(&[a, b])?;
                 let card_b = joint.shape()[1];
                 let mut score = 0.0;
                 for (idx, &c) in joint.counts().iter().enumerate() {
@@ -139,7 +151,7 @@ impl Synthesizer for Mst {
         let rho_pair = accountant.remaining() / tree_edges.len().max(1) as f64;
         for &(a, b) in &tree_edges {
             accountant.spend(rho_pair)?;
-            measurements.push(measure_gaussian(data, &[a, b], rho_pair, &mut rng)?);
+            measurements.push(measure_gaussian(&mut engine, &[a, b], rho_pair, &mut rng)?);
         }
 
         let mut ws = CalibrationWorkspace::new();

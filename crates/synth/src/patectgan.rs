@@ -19,7 +19,7 @@ use crate::Synthesizer;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
-use synrd_data::{Dataset, Domain};
+use synrd_data::{Dataset, Domain, MarginalEngine};
 use synrd_dp::{derive_seed, standard_laplace, standard_normal, Accountant, Privacy};
 use synrd_ml::{Activation, Mlp};
 
@@ -129,11 +129,12 @@ impl Synthesizer for PateCtgan {
         let onehot_dim = offset;
 
         // 30% of budget: noisy 1-way histograms for the moment loss.
+        let mut engine = MarginalEngine::new(data);
         let rho_one = 0.30 * total / d as f64;
         let mut moment_targets: Vec<Vec<f64>> = Vec::with_capacity(d);
         for a in 0..d {
             accountant.spend(rho_one)?;
-            let m = measure_gaussian(data, &[a], rho_one, &mut rng)?;
+            let m = measure_gaussian(&mut engine, &[a], rho_one, &mut rng)?;
             let clamped: Vec<f64> = m.values.iter().map(|&v| v.max(0.0)).collect();
             let total_mass: f64 = clamped.iter().sum::<f64>().max(1e-9);
             moment_targets.push(clamped.into_iter().map(|v| v / total_mass).collect());

@@ -12,11 +12,12 @@
 
 use crate::common::{check_domain_limit, dataset_from_columns};
 use crate::error::{Result, SynthError};
+use crate::workload::all_pairs;
 use crate::Synthesizer;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
-use synrd_data::{Dataset, Domain, Marginal};
+use synrd_data::{Dataset, Domain, Marginal, MarginalEngine};
 use synrd_dp::{derive_seed, exponential_mechanism, laplace_mechanism, Privacy};
 
 /// Configuration for [`PrivBayes`].
@@ -105,15 +106,24 @@ impl Synthesizer for PrivBayes {
             degree -= 1;
         }
 
+        // One marginal engine per fit: the pairwise-MI precompute counts
+        // every pair joint in one fused sweep, and the CPT materialization
+        // below reuses any table the structure search already counted.
+        let mut engine = MarginalEngine::new(data);
+
         // Precompute pairwise MI on the real data (used only inside the
         // exponential mechanism, which provides the privacy).
+        let pair_sets: Vec<Vec<usize>> = all_pairs(data.domain())
+            .into_iter()
+            .map(|q| q.attrs)
+            .collect();
+        engine.prefetch(&pair_sets)?;
         let mut mi = vec![vec![0.0f64; d]; d];
-        for a in 0..d {
-            for b in (a + 1)..d {
-                let v = synrd_data::mutual_information(data, a, b)?;
-                mi[a][b] = v;
-                mi[b][a] = v;
-            }
+        for pair in &pair_sets {
+            let (a, b) = (pair[0], pair[1]);
+            let v = engine.mutual_information(a, b)?;
+            mi[a][b] = v;
+            mi[b][a] = v;
         }
 
         // Greedy structure selection: first node uniformly at random, then
@@ -182,12 +192,14 @@ impl Synthesizer for PrivBayes {
         );
 
         // Noisy CPTs: Laplace with sensitivity 2 (modify-one neighbors).
+        // Two-attribute tables are cache hits from the MI precompute; the
+        // noise goes onto a cloned copy, never the cached true counts.
         let eps_table = eps_cpt / d as f64;
         for node in &mut nodes {
             let mut attrs: Vec<usize> = node.parents.clone();
             attrs.push(node.attr);
             attrs.sort_unstable();
-            let mut marginal = Marginal::count(data, &attrs)?;
+            let mut marginal = engine.count(&attrs)?.clone();
             laplace_mechanism(marginal.counts_mut(), 2.0, eps_table, &mut rng)?;
             node.table = marginal;
         }

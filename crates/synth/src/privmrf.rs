@@ -14,7 +14,7 @@ use crate::error::{Result, SynthError};
 use crate::Synthesizer;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use synrd_data::{mutual_information, Dataset, Domain};
+use synrd_data::{Dataset, Domain, MarginalEngine};
 use synrd_dp::{derive_seed, exponential_epsilon, exponential_mechanism, Accountant, Privacy};
 use synrd_pgm::{
     estimate_with, CalibrationWorkspace, EstimationOptions, FittedModel, JunctionTree, TreeSampler,
@@ -78,31 +78,49 @@ impl Synthesizer for PrivMrf {
         let shape = data.domain().shape();
         let n = data.n_rows() as f64;
 
+        // One marginal engine per fit: the MI scoring below reuses every
+        // pair joint it counts (the triple scores revisit pairs the pair
+        // loop already counted).
+        let mut engine = MarginalEngine::new(data);
+
         // 1-way marginals with 15% of the budget.
         let rho_one = 0.15 * total / d as f64;
         let mut measurements = Vec::with_capacity(d + self.options.max_marginals);
         for a in 0..d {
             accountant.spend(rho_one)?;
-            measurements.push(measure_gaussian(data, &[a], rho_one, &mut rng)?);
+            measurements.push(measure_gaussian(&mut engine, &[a], rho_one, &mut rng)?);
         }
 
         // Candidate pool: all pairs under the marginal cell limit, plus the
-        // triples formed by the strongest pair and a third attribute.
-        let mut candidates: Vec<(Vec<usize>, f64)> = Vec::new();
-        let mut best_pair: Option<(usize, usize, f64)> = None;
+        // triples formed by the strongest pair and a third attribute. All
+        // eligible pair joints are counted in one fused sweep.
+        let mut eligible_pairs: Vec<Vec<usize>> = Vec::new();
         for a in 0..d {
             for b in (a + 1)..d {
                 if data.domain().cells(&[a, b])? > self.options.marginal_cell_limit as u128 {
                     continue;
                 }
-                let mi = mutual_information(data, a, b)?;
-                candidates.push((vec![a, b], n * mi));
-                if best_pair.is_none_or(|(_, _, m)| mi > m) {
-                    best_pair = Some((a, b, mi));
-                }
+                eligible_pairs.push(vec![a, b]);
+            }
+        }
+        engine.prefetch(&eligible_pairs)?;
+        let mut candidates: Vec<(Vec<usize>, f64)> = Vec::new();
+        let mut best_pair: Option<(usize, usize, f64)> = None;
+        for pair in &eligible_pairs {
+            let (a, b) = (pair[0], pair[1]);
+            let mi = engine.mutual_information(a, b)?;
+            candidates.push((vec![a, b], n * mi));
+            if best_pair.is_none_or(|(_, _, m)| mi > m) {
+                best_pair = Some((a, b, mi));
             }
         }
         if let Some((a, b, _)) = best_pair {
+            // The triple scores look up joints keyed `[a, c]` / `[b, c]` in
+            // call order; the cache key is order-sensitive, so prefetch
+            // exactly those keys in one fused sweep (where `c < a` these are
+            // new tables, not the `[min, max]` pairs counted above).
+            let mut thirds: Vec<usize> = Vec::new();
+            let mut mi_pairs: Vec<Vec<usize>> = Vec::new();
             for c in 0..d {
                 if c == a || c == b {
                     continue;
@@ -112,7 +130,16 @@ impl Synthesizer for PrivMrf {
                 if data.domain().cells(&attrs)? > self.options.marginal_cell_limit as u128 {
                     continue;
                 }
-                let score = n * (mutual_information(data, a, c)? + mutual_information(data, b, c)?);
+                thirds.push(c);
+                mi_pairs.push(vec![a, c]);
+                mi_pairs.push(vec![b, c]);
+            }
+            engine.prefetch(&mi_pairs)?;
+            for &c in &thirds {
+                let mut attrs = vec![a, b, c];
+                attrs.sort_unstable();
+                let score =
+                    n * (engine.mutual_information(a, c)? + engine.mutual_information(b, c)?);
                 candidates.push((attrs, score));
             }
         }
@@ -151,7 +178,12 @@ impl Synthesizer for PrivMrf {
             let pick = exponential_mechanism(&scores, sensitivity, eps_pick, &mut rng)?;
             let attrs = candidates[viable[pick]].0.clone();
             accountant.spend(rho_measure)?;
-            measurements.push(measure_gaussian(data, &attrs, rho_measure, &mut rng)?);
+            measurements.push(measure_gaussian(
+                &mut engine,
+                &attrs,
+                rho_measure,
+                &mut rng,
+            )?);
             chosen.push(attrs);
         }
 

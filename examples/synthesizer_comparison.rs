@@ -64,7 +64,7 @@ fn main() {
         for a in 0..data.n_attrs() {
             let real_m = Marginal::count(&data, &[a]).expect("marginal");
             let synth_m = Marginal::count(&synthetic, &[a]).expect("marginal");
-            l1 += real_m.l1_distance(&synth_m);
+            l1 += real_m.l1_distance(&synth_m).expect("same shape");
         }
         l1 /= data.n_attrs() as f64;
 

@@ -45,7 +45,7 @@ fn main() {
         for q in &queries {
             let real_m = Marginal::count(&data, &q.attrs).expect("marginal");
             let synth_m = Marginal::count(&synthetic, &q.attrs).expect("marginal");
-            total += 0.5 * real_m.l1_distance(&synth_m);
+            total += 0.5 * real_m.l1_distance(&synth_m).expect("same shape");
         }
         println!("{:<12} {:>16.4}", kind.name(), total / queries.len() as f64);
     }

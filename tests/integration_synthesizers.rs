@@ -89,7 +89,7 @@ fn epsilon_scales_noise_for_marginal_methods() {
         let sample = synth.sample(data.n_rows(), 19).unwrap();
         let real = Marginal::count(&data, &[0, 1]).unwrap();
         let fake = Marginal::count(&sample, &[0, 1]).unwrap();
-        real.l1_distance(&fake)
+        real.l1_distance(&fake).unwrap()
     };
     let low = err_at((-3.0f64).exp());
     let high = err_at((2.0f64).exp());
