@@ -76,6 +76,26 @@ fn sampling_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// Before/after row-generation bench: the batched clique-major engine vs
+/// the retained per-row oracle, on the same fitted model (`perfgrid`
+/// records the same comparison to `BENCH_sampling.json`).
+fn sampling_kernels(c: &mut Criterion) {
+    let (shape, ms) = chain_measurements();
+    let model = estimate(&shape, &ms, EstimationOptions::default()).expect("estimate");
+    let sampler = TreeSampler::new(&model).expect("sampler");
+    let mut group = c.benchmark_group("pgm_sampling_kernel");
+    group.sample_size(10);
+    let rows = 100_000usize;
+    group.bench_with_input(BenchmarkId::new("batched", rows), &(), |b, ()| {
+        let mut ws = synrd_pgm::SamplingWorkspace::new();
+        b.iter(|| sampler.sample_columns_with(rows, &mut StdRng::seed_from_u64(11), &mut ws));
+    });
+    group.bench_with_input(BenchmarkId::new("naive", rows), &(), |b, ()| {
+        b.iter(|| sampler.sample_columns_naive(rows, &mut StdRng::seed_from_u64(11)));
+    });
+    group.finish();
+}
+
 /// Before/after kernel bench: one full calibration through the stride
 /// kernels (workspace reused across iterations, as the mirror-descent loop
 /// does) vs the naive expand-then-zip reference. Problems come from
@@ -113,6 +133,7 @@ criterion_group!(
     benches,
     estimation_iterations,
     sampling_throughput,
+    sampling_kernels,
     calibrate_kernels
 );
 criterion_main!(benches);

@@ -1,31 +1,37 @@
 //! Records the kernel performance trajectory to `BENCH_pgm.json` (factor
-//! algebra) and `BENCH_marginal.json` (marginal-counting engine).
+//! algebra), `BENCH_marginal.json` (marginal-counting engine) and
+//! `BENCH_sampling.json` (row-generation engine).
 //!
 //! Times a small fixed grid of calibration problems through both factor
 //! algebras — the stride kernels that power production and the retained
 //! naive-reference oracle (`naive-reference` feature) — plus end-to-end
-//! mirror descent and sampler construction, then does the same for the
-//! data side: the synthesizer selection paths (AIM round loops, MST's
-//! all-pairs sweep) through the `MarginalEngine` vs the naive per-row
-//! counter. Results are written as canonical JSON (via `synrd-store`) so
-//! the repo carries a comparable perf record from PR to PR.
+//! mirror descent and sampler construction; then the data side: the
+//! synthesizer selection paths (AIM round loops, MST's all-pairs sweep)
+//! through the `MarginalEngine` vs the naive per-row counter; then the
+//! sampling side: batched clique-major `TreeSampler::sample_columns` vs
+//! the retained per-row oracle, with batched-vs-naive and
+//! parallel-vs-sequential bit-identity asserted on every problem. Results
+//! are written as canonical JSON (via `synrd-store`) so the repo carries a
+//! comparable perf record from PR to PR.
 //!
 //! ```text
 //! cargo run --release -p synrd-bench --bin perfgrid \
-//!     [--quick] [--out PATH] [--marginal-out PATH]
+//!     [--quick] [--out PATH] [--marginal-out PATH] [--sampling-out PATH]
 //! ```
 //!
 //! `--quick` shrinks repetitions for CI smoke runs; the JSON schemas are
 //! identical. Timings are medians over repeated runs; `speedup` is
 //! `naive_ns / engine_ns` for the same problem.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::hint::black_box;
 use std::time::Instant;
 use synrd_data::{Marginal, MarginalEngine};
 use synrd_pgm::{
     calibrate_into, calibrate_naive, estimate, estimate_naive, factor_buffer_allocs,
-    CalibratedTree, CalibrationWorkspace, EstimationOptions, Factor, JunctionTree,
-    NoisyMeasurement, TreeSampler,
+    CalibratedTree, CalibrationWorkspace, EstimationOptions, Factor, FittedModel, JunctionTree,
+    NoisyMeasurement, SamplingWorkspace, TreeSampler,
 };
 use synrd_store::JsonValue;
 
@@ -194,6 +200,147 @@ fn marginal_section(quick: bool, out_path: &str) -> f64 {
     selection_min
 }
 
+/// Mirror-descent fit of chain-pair measurements over `d` attributes of
+/// cardinality `card` (the MST/AIM measurement shape).
+fn fitted_chain(d: usize, card: usize) -> FittedModel {
+    let domain = vec![card; d];
+    let ms: Vec<NoisyMeasurement> = (0..d - 1)
+        .map(|a| NoisyMeasurement {
+            attrs: vec![a, a + 1],
+            values: (0..card * card)
+                .map(|k| 60.0 + 17.0 * (k as f64).sin())
+                .collect(),
+            sigma: 2.0,
+        })
+        .collect();
+    fit(&domain, ms)
+}
+
+/// Same, with overlapping width-3 cliques (the PrivMRF triple shape).
+fn fitted_triples(d: usize, card: usize) -> FittedModel {
+    let domain = vec![card; d];
+    let ms: Vec<NoisyMeasurement> = (0..d - 2)
+        .map(|a| NoisyMeasurement {
+            attrs: vec![a, a + 1, a + 2],
+            values: (0..card * card * card)
+                .map(|k| 45.0 + 11.0 * (k as f64 * 0.7).cos())
+                .collect(),
+            sigma: 2.0,
+        })
+        .collect();
+    fit(&domain, ms)
+}
+
+fn fit(domain: &[usize], ms: Vec<NoisyMeasurement>) -> FittedModel {
+    estimate(
+        domain,
+        &ms,
+        EstimationOptions {
+            iterations: 40,
+            initial_step: 1.0,
+            cell_limit: 1 << 21,
+        },
+    )
+    .expect("fit")
+}
+
+/// The sampling-engine third of the perf record: batched clique-major
+/// `sample_columns` vs the retained per-row oracle on fitted models, with
+/// bit-identity (batched vs naive, parallel vs sequential) asserted on
+/// every problem. Writes `BENCH_sampling.json`; returns the minimum
+/// `sample_columns` speedup.
+fn sampling_section(quick: bool, out_path: &str) -> f64 {
+    let rows = if quick { 30_000 } else { 100_000 };
+    let reps = if quick { 5 } else { 11 };
+    let problems: Vec<(String, FittedModel)> = vec![
+        ("chain-d10-c4".to_string(), fitted_chain(10, 4)),
+        ("chain-d6-c10".to_string(), fitted_chain(6, 10)),
+        ("triples-d8-c4".to_string(), fitted_triples(8, 4)),
+    ];
+    let mut bench_rows = Vec::new();
+    let mut speedups = Vec::new();
+    for (name, model) in &problems {
+        let sampler = TreeSampler::new(model).expect("sampler");
+        // Bit-identity first (batched vs oracle, chunk-parallel vs
+        // sequential), on the same seed the timings use.
+        let batched = sampler.sample_columns(rows, &mut StdRng::seed_from_u64(17));
+        let naive = sampler.sample_columns_naive(rows, &mut StdRng::seed_from_u64(17));
+        assert_eq!(batched, naive, "{name}: batched != naive");
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .expect("pool");
+        let chunked = pool.install(|| {
+            sampler.sample_columns_chunked(rows, &mut StdRng::seed_from_u64(17), rows / 7 + 1)
+        });
+        assert_eq!(batched, chunked, "{name}: parallel != sequential");
+
+        let mut ws = SamplingWorkspace::new();
+        let engine_ns = median_ns(reps, || {
+            let cols = sampler.sample_columns_with(rows, &mut StdRng::seed_from_u64(17), &mut ws);
+            black_box(cols[0][rows - 1]);
+        });
+        let naive_ns = median_ns(reps, || {
+            let cols = sampler.sample_columns_naive(rows, &mut StdRng::seed_from_u64(17));
+            black_box(cols[0][rows - 1]);
+        });
+        let speedup = naive_ns / engine_ns;
+        speedups.push(speedup);
+        let rows_per_s = rows as f64 / (engine_ns * 1e-9);
+        println!(
+            "sampling   {:<14} engine {:>10.0} ns   naive {:>10.0} ns   speedup {:>5.2}x   \
+             ({:.1}M rows/s)",
+            name,
+            engine_ns,
+            naive_ns,
+            speedup,
+            rows_per_s / 1e6
+        );
+        bench_rows.push(JsonValue::obj(vec![
+            ("name", JsonValue::Str(name.clone())),
+            (
+                "cliques",
+                JsonValue::Uint(model.tree().cliques().len() as u64),
+            ),
+            ("rows", JsonValue::Uint(rows as u64)),
+            ("engine_ns", JsonValue::Num(engine_ns)),
+            ("naive_ns", JsonValue::Num(naive_ns)),
+            ("speedup", JsonValue::Num(speedup)),
+            ("rows_per_second", JsonValue::Num(rows_per_s)),
+            ("bit_identical", JsonValue::Bool(true)),
+            ("parallel_bit_identical", JsonValue::Bool(true)),
+        ]));
+    }
+    let min_speedup = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+    let geomean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+    let doc = JsonValue::obj(vec![
+        (
+            "schema",
+            JsonValue::Str("synrd-bench-sampling/1".to_string()),
+        ),
+        (
+            "mode",
+            JsonValue::Str(if quick { "quick" } else { "full" }.to_string()),
+        ),
+        ("rows", JsonValue::Uint(rows as u64)),
+        (
+            "threads",
+            JsonValue::Uint(rayon::current_num_threads() as u64),
+        ),
+        ("benches", JsonValue::Arr(bench_rows)),
+        (
+            "summary",
+            JsonValue::obj(vec![
+                ("sample_columns_speedup_min", JsonValue::Num(min_speedup)),
+                ("sample_columns_speedup_geomean", JsonValue::Num(geomean)),
+            ]),
+        ),
+    ]);
+    std::fs::write(out_path, format!("{}\n", doc.to_text())).expect("write BENCH_sampling.json");
+    println!("wrote {out_path} (min sample_columns speedup {min_speedup:.2}x)");
+    min_speedup
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -209,6 +356,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_marginal.json".to_string());
+    let sampling_out = args
+        .iter()
+        .position(|a| a == "--sampling-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sampling.json".to_string());
     let reps = if quick { 7 } else { 31 };
 
     // --- Kernel grid: stride vs naive calibration -------------------------
@@ -341,6 +494,9 @@ fn main() {
     // --- Marginal engine: the synthesizer selection paths ------------------
     let selection_min = marginal_section(quick, &marginal_out);
 
+    // --- Sampling engine: the row-generation path --------------------------
+    let sampling_min = sampling_section(quick, &sampling_out);
+
     if min_speedup < 1.0 {
         eprintln!("warning: stride kernels slower than naive on some problem");
         std::process::exit(1);
@@ -356,6 +512,16 @@ fn main() {
         eprintln!(
             "warning: marginal engine under the {gate:.1}x selection-path gate \
              ({selection_min:.2}x)"
+        );
+        std::process::exit(1);
+    }
+    // Same 2x target for the sampling engine at 100k rows, softened in
+    // --quick mode for the same CI-noise reason.
+    let sampling_gate = if quick { 1.4 } else { 2.0 };
+    if sampling_min < sampling_gate {
+        eprintln!(
+            "warning: sampling engine under the {sampling_gate:.1}x sample_columns gate \
+             ({sampling_min:.2}x)"
         );
         std::process::exit(1);
     }

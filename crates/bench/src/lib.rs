@@ -244,7 +244,8 @@ pub fn assemble_from_shards(
 pub fn print_store_summary(cache: &DiskCellCache) {
     let stats = cache.stats();
     println!(
-        "[store] dir={} fingerprint={} hits={} misses={} stores={} errors={} fits={}",
+        "[store] dir={} fingerprint={} hits={} misses={} stores={} errors={} fits={} \
+         sampled_rows={}",
         cache.root().display(),
         synrd_store::hex16(cache.fingerprint()),
         stats.hits,
@@ -252,6 +253,7 @@ pub fn print_store_summary(cache: &DiskCellCache) {
         stats.stores,
         stats.errors,
         synrd::benchmark::fits_performed(),
+        synrd::benchmark::rows_sampled(),
     );
 }
 

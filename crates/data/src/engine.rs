@@ -504,6 +504,15 @@ impl<'d> MarginalEngine<'d> {
             .expect("present: hit or just inserted"))
     }
 
+    /// The cached marginal for `attrs`, if it has already been counted — a
+    /// pure read: no hit/miss accounting, no eviction, `&self` only. This
+    /// is what lets the synthesizers' parallel scoring closures read a
+    /// shared engine after a sequential warm-up pass has counted (or
+    /// prefetched) every candidate.
+    pub fn peek(&self, attrs: &[usize]) -> Option<&Marginal> {
+        self.cache.map.get(attrs)
+    }
+
     /// Warm the cache for a whole batch of attribute sets with fused sweeps:
     /// the not-yet-cached sets are grouped and counted together, so the data
     /// is streamed through cache once per chunk for the entire group rather

@@ -13,7 +13,9 @@
 //!   warm-up via [`workspace::CalibrationWorkspace`];
 //! * [`estimation`] — mirror-descent fitting of clique potentials to noisy
 //!   marginal measurements, with backtracking line search;
-//! * [`sampling`] — ancestral sampling from the calibrated tree;
+//! * [`sampling`] — batched, clique-major, rayon-parallel ancestral
+//!   sampling from the calibrated tree (bit-identical to the retained
+//!   per-row oracle);
 //! * [`spanning_tree`] — Kruskal maximum spanning tree / union-find (also
 //!   used directly by the MST synthesizer);
 //! * [`workspace`] — the reusable scratch arena threaded through
@@ -46,6 +48,9 @@ pub use factor::{factor_buffer_allocs, log_sum_exp, Factor};
 pub use inference::calibrate_naive;
 pub use inference::{calibrate, calibrate_into, CalibratedTree};
 pub use junction_tree::JunctionTree;
-pub use sampling::TreeSampler;
+pub use sampling::{
+    assemble_chunks, parallel_rows, record_sampling_pass, rows_sampled, sampling_passes,
+    search_cumulative, SamplingWorkspace, TreeSampler,
+};
 pub use spanning_tree::{maximum_spanning_tree, UnionFind};
 pub use workspace::CalibrationWorkspace;

@@ -10,11 +10,12 @@
 
 use crate::common::{check_domain_limit, dataset_from_columns, measure_gaussian, planned_sigma};
 use crate::error::{Result, SynthError};
+use crate::scoring::{aim_candidate_score, map_scores, parallel_scoring};
 use crate::workload::{all_pairs_under, WorkloadQuery};
 use crate::Synthesizer;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use synrd_data::{Dataset, Domain, MarginalEngine};
+use synrd_data::{Dataset, Domain, Marginal, MarginalEngine};
 use synrd_dp::{derive_seed, exponential_epsilon, exponential_mechanism, Accountant, Privacy};
 use synrd_pgm::{
     estimate_with, CalibrationWorkspace, EstimationOptions, FittedModel, JunctionTree, TreeSampler,
@@ -141,10 +142,13 @@ impl Synthesizer for Aim {
             let rho_measure = rho_round / 2.0;
             let sigma_next = planned_sigma(rho_measure);
 
-            // Candidate scores: workload error of the current model minus the
-            // expected noise cost of measuring (AIM's utility function).
+            // Candidate gathering (sequential: the junction-tree probe
+            // mutates the `chosen_sets` scratch). The round-0 prefetch
+            // already counted every workload marginal, so no per-candidate
+            // count is needed here — under a cache budget too small for
+            // the workload, the scoring fallback recounts exactly once per
+            // round instead of twice.
             let mut cand: Vec<&WorkloadQuery> = Vec::new();
-            let mut scores: Vec<f64> = Vec::new();
             for (qi, q) in workload.iter().enumerate() {
                 if infeasible[qi] || chosen_sets.iter().any(|s| s == &q.attrs) {
                     continue;
@@ -161,23 +165,36 @@ impl Synthesizer for Aim {
                     infeasible[qi] = true;
                     continue;
                 }
-                let true_counts = engine.count(&q.attrs)?;
-                let n = true_counts.total();
-                let model_probs = model.marginal_or_independent(&q.attrs)?;
-                let l1: f64 = true_counts
-                    .counts()
-                    .iter()
-                    .zip(&model_probs)
-                    .map(|(&c, &p)| (c - n * p).abs())
-                    .sum();
-                let noise_cost =
-                    (2.0 / std::f64::consts::PI).sqrt() * sigma_next * true_counts.n_cells() as f64;
                 cand.push(q);
-                scores.push(q.weight * (l1 - noise_cost));
             }
             if cand.is_empty() {
                 break;
             }
+            // Candidate scores: workload error of the current model minus
+            // the expected noise cost of measuring (AIM's utility
+            // function). Pure reads of the cached marginals and the fitted
+            // model, fanned out with a pinned reduction order — parallel
+            // scores are bit-identical to sequential ones.
+            let engine_ref = &engine;
+            let scores = map_scores(&cand, parallel_scoring(cand.len()), |q| {
+                let recounted;
+                let true_counts = match engine_ref.peek(&q.attrs) {
+                    Some(m) => m,
+                    None => {
+                        // Evicted under a tight cache budget: recount
+                        // outside the engine (same kernel, same counts).
+                        recounted = Marginal::count(engine_ref.dataset(), &q.attrs)?;
+                        &recounted
+                    }
+                };
+                let model_probs = model.marginal_or_independent(&q.attrs)?;
+                Ok(aim_candidate_score(
+                    true_counts,
+                    &model_probs,
+                    sigma_next,
+                    q.weight,
+                ))
+            })?;
             accountant.spend(rho_select)?;
             let eps_select = exponential_epsilon(rho_select)?;
             // Sensitivity: one record shifts a pair's L1 error by ≤ 2.

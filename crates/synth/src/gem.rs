@@ -17,9 +17,10 @@ use crate::Synthesizer;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use synrd_data::{Dataset, Domain, MarginalEngine};
 use synrd_dp::{derive_seed, exponential_epsilon, exponential_mechanism, Accountant, Privacy};
-use synrd_pgm::NoisyMeasurement;
+use synrd_pgm::{parallel_rows, record_sampling_pass, search_cumulative, NoisyMeasurement};
 
 /// Configuration for [`Gem`].
 #[derive(Debug, Clone, Copy)]
@@ -250,32 +251,80 @@ impl Synthesizer for Gem {
         let mut rng = StdRng::seed_from_u64(derive_seed(seed, "gem-sample"));
         let d = domain.len();
         let kk = model.logits.len();
-        // Precompute per-component cumulative tables.
-        let mut cums: Vec<Vec<Vec<f64>>> = Vec::with_capacity(kk);
-        for k in 0..kk {
-            let mut per_attr = Vec::with_capacity(d);
-            for a in 0..d {
-                let mut c = model.probs(k, a);
-                let mut acc = 0.0;
-                for v in c.iter_mut() {
-                    acc += *v;
-                    *v = acc;
-                }
-                per_attr.push(c);
+        let cums = cumulative_tables(model, d);
+        // Pre-draw the mixture-component pick and the per-attribute
+        // uniforms of every row in the exact row-major order the per-row
+        // sampler consumed them, so the node-major pass below is
+        // bit-identical to it.
+        let mut comps: Vec<u32> = Vec::with_capacity(n);
+        let mut uniforms: Vec<f64> = Vec::with_capacity(n * d);
+        for _ in 0..n {
+            comps.push(rng.gen_range(0..kk) as u32);
+            for _ in 0..d {
+                uniforms.push(rng.gen());
             }
-            cums.push(per_attr);
         }
+        record_sampling_pass(n as u64);
+        // Node-major batched ancestral sampling: resolve one attribute
+        // across all rows off its precomputed per-component cumulative
+        // tables. Columns are independent given the pre-drawn randomness,
+        // so the parallel map is bit-identical to the sequential one.
+        let build_column = |a: &usize| -> Vec<u32> {
+            let a = *a;
+            (0..n)
+                .map(|r| {
+                    let cum = &cums[comps[r] as usize][a];
+                    search_cumulative(cum, uniforms[r * d + a]) as u32
+                })
+                .collect()
+        };
+        let attrs: Vec<usize> = (0..d).collect();
+        let columns: Vec<Vec<u32>> = if parallel_rows(n) && d > 1 {
+            attrs.par_iter().map(build_column).collect()
+        } else {
+            attrs.iter().map(build_column).collect()
+        };
+        dataset_from_columns(domain, columns)
+    }
+}
+
+/// Per-component, per-attribute cumulative probability tables (unnormalized
+/// tails exactly as the per-row sampler accumulated them).
+fn cumulative_tables(model: &GemModel, d: usize) -> Vec<Vec<Vec<f64>>> {
+    let kk = model.logits.len();
+    let mut cums: Vec<Vec<Vec<f64>>> = Vec::with_capacity(kk);
+    for k in 0..kk {
+        let mut per_attr = Vec::with_capacity(d);
+        for a in 0..d {
+            let mut c = model.probs(k, a);
+            let mut acc = 0.0;
+            for v in c.iter_mut() {
+                acc += *v;
+                *v = acc;
+            }
+            per_attr.push(c);
+        }
+        cums.push(per_attr);
+    }
+    cums
+}
+
+#[cfg(test)]
+impl Gem {
+    /// The original per-row sampler, retained as the differential oracle
+    /// for the node-major batched path.
+    fn sample_naive(&self, n: usize, seed: u64) -> Result<Dataset> {
+        let (domain, model) = self.fitted.as_ref().ok_or(SynthError::NotFitted)?;
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, "gem-sample"));
+        let d = domain.len();
+        let kk = model.logits.len();
+        let cums = cumulative_tables(model, d);
         let mut columns = vec![vec![0u32; n]; d];
         for r in 0..n {
             let k = rng.gen_range(0..kk);
             for (a, col) in columns.iter_mut().enumerate() {
                 let u: f64 = rng.gen();
-                let cum = &cums[k][a];
-                let idx = match cum.binary_search_by(|c| c.partial_cmp(&u).expect("finite")) {
-                    Ok(i) => i,
-                    Err(i) => i.min(cum.len() - 1),
-                };
-                col[r] = idx as u32;
+                col[r] = search_cumulative(&cums[k][a], u) as u32;
             }
         }
         dataset_from_columns(domain, columns)
@@ -295,16 +344,24 @@ fn train(
     let (b1, b2, eps) = (0.9, 0.999, 1e-8);
     // Normalize weights so the learning rate is scale-free.
     let wsum: f64 = measured.iter().map(|(_, w)| *w).sum::<f64>().max(1e-12);
+    // Gradient arena wrt probabilities, hoisted out of the step loop and
+    // zeroed in place: allocating `mixture × d` nested Vecs per step made
+    // the trainer allocation-bound at high step counts.
+    let mut grad_p: Vec<Vec<Vec<f64>>> = model
+        .logits
+        .iter()
+        .map(|comp| comp.iter().map(|l| vec![0.0; l.len()]).collect())
+        .collect();
 
     for _ in 0..steps {
         model.step += 1;
         let t = model.step as f64;
         // Accumulate gradients wrt probabilities, then chain through softmax.
-        let mut grad_p: Vec<Vec<Vec<f64>>> = model
-            .logits
-            .iter()
-            .map(|comp| comp.iter().map(|l| vec![0.0; l.len()]).collect())
-            .collect();
+        for comp in grad_p.iter_mut() {
+            for g in comp.iter_mut() {
+                g.fill(0.0);
+            }
+        }
 
         for (meas, w) in measured {
             let w = w / wsum;
@@ -408,6 +465,23 @@ mod tests {
         let real = data.mean_of(0).unwrap();
         let got = sample.mean_of(0).unwrap();
         assert!((real - got).abs() < 0.05, "{got} vs {real}");
+    }
+
+    #[test]
+    fn batched_sample_matches_naive() {
+        let data = correlated(2_000);
+        let mut synth = Gem::with_options(GemOptions {
+            mixture: 8,
+            rounds: 3,
+            grad_steps: 30,
+            learning_rate: 0.1,
+        });
+        synth.fit(&data, Privacy::zcdp(1.0).unwrap(), 5).unwrap();
+        for (n, seed) in [(0usize, 1u64), (1, 2), (513, 3), (20_000, 4)] {
+            let batched = synth.sample(n, seed).unwrap();
+            let naive = synth.sample_naive(n, seed).unwrap();
+            assert_eq!(batched, naive, "n = {n}");
+        }
     }
 
     #[test]

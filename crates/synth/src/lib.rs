@@ -25,6 +25,7 @@ pub mod mst;
 pub mod patectgan;
 pub mod privbayes;
 pub mod privmrf;
+pub mod scoring;
 pub mod workload;
 
 pub use aim::{Aim, AimOptions};
@@ -34,7 +35,12 @@ pub use mst::{Mst, MstOptions};
 pub use patectgan::{PateCtgan, PateCtganOptions};
 pub use privbayes::{PrivBayes, PrivBayesOptions};
 pub use privmrf::{PrivMrf, PrivMrfOptions};
+pub use scoring::{aim_candidate_score, map_scores, mst_edge_score};
 pub use workload::{all_pairs, all_pairs_under, WorkloadQuery};
+// Sampling-side process counters (mirrors of the grid fit counter and the
+// marginal counting counter), re-exported so the grid driver and tests can
+// read them without a direct synrd-pgm dependency.
+pub use synrd_pgm::{rows_sampled, sampling_passes};
 
 use synrd_data::Dataset;
 use synrd_dp::{delta_for_n, Privacy};

@@ -13,6 +13,7 @@
 
 use crate::common::{check_domain_limit, dataset_from_columns, measure_gaussian};
 use crate::error::{Result, SynthError};
+use crate::scoring::{map_scores, mst_edge_score, parallel_scoring};
 use crate::workload::all_pairs;
 use crate::Synthesizer;
 use rand::rngs::StdRng;
@@ -107,22 +108,33 @@ impl Synthesizer for Mst {
             .map(|q| q.attrs)
             .collect();
         engine.prefetch(&pair_sets)?;
-        let mut edge_scores: Vec<(usize, usize, f64)> = Vec::with_capacity(d * (d - 1) / 2);
-        for a in 0..d {
-            for b in (a + 1)..d {
-                // L1 gap between true pair counts and the independent
-                // approximation from the (noisy, already-paid-for) 1-ways.
-                let joint = engine.count(&[a, b])?;
-                let card_b = joint.shape()[1];
-                let mut score = 0.0;
-                for (idx, &c) in joint.counts().iter().enumerate() {
-                    let pa = one_way_probs[a][idx / card_b];
-                    let pb = one_way_probs[b][idx % card_b];
-                    score += (c - n * pa * pb).abs();
+        // L1 gap between true pair counts and the independent approximation
+        // from the (noisy, already-paid-for) 1-ways — pure reads of the
+        // prefetched joints, scored in parallel with the reduction order
+        // pinned to edge order (bit-identical to the sequential loop).
+        let edges: Vec<(usize, usize)> = (0..d)
+            .flat_map(|a| ((a + 1)..d).map(move |b| (a, b)))
+            .collect();
+        let engine_ref = &engine;
+        let one_way_ref = &one_way_probs;
+        let scores = map_scores(&edges, parallel_scoring(edges.len()), |&(a, b)| {
+            let recounted;
+            let joint = match engine_ref.peek(&[a, b]) {
+                Some(m) => m,
+                None => {
+                    // Evicted under a tight cache budget: recount outside
+                    // the engine (same kernel, same counts).
+                    recounted = Marginal::count(engine_ref.dataset(), &[a, b])?;
+                    &recounted
                 }
-                edge_scores.push((a, b, score));
-            }
-        }
+            };
+            Ok(mst_edge_score(joint, &one_way_ref[a], &one_way_ref[b], n))
+        })?;
+        let edge_scores: Vec<(usize, usize, f64)> = edges
+            .iter()
+            .zip(scores)
+            .map(|(&(a, b), s)| (a, b, s))
+            .collect();
         let picks = d.saturating_sub(1).max(1);
         let rho_select = total / 3.0 / picks as f64;
         let eps_edge = exponential_epsilon(rho_select)?;

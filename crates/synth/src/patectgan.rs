@@ -22,6 +22,7 @@ use rand::SeedableRng;
 use synrd_data::{Dataset, Domain, MarginalEngine};
 use synrd_dp::{derive_seed, standard_laplace, standard_normal, Accountant, Privacy};
 use synrd_ml::{Activation, Mlp};
+use synrd_pgm::{assemble_chunks, parallel_rows, record_sampling_pass};
 
 /// Configuration for [`PateCtgan`].
 #[derive(Debug, Clone, Copy)]
@@ -169,7 +170,12 @@ impl Synthesizer for PateCtgan {
         );
         student.learning_rate = 2e-3;
 
-        let mut real_onehot = vec![0.0f64; onehot_dim];
+        // One-hot encodings of teacher rows, cached across epochs: teachers
+        // redraw rows from their (fixed) partitions every round, so the
+        // per-draw zero-fill + re-encode of the full one-hot buffer was
+        // pure churn. Filled lazily, so memory is bounded by the rows
+        // actually drawn (≤ rounds × batch × teachers), not by n.
+        let mut onehot_cache: Vec<Option<Box<[f64]>>> = vec![None; n];
         let mut codes = vec![0u32; d];
         for _ in 0..self.options.rounds {
             for _ in 0..self.options.batch {
@@ -184,11 +190,16 @@ impl Synthesizer for PateCtgan {
                 // --- Teachers: SGD step on (their real row = 1, fake = 0). ---
                 for (t, w) in teacher_w.iter_mut().enumerate() {
                     let row_idx = perm[t * per_teacher + rng.gen_range(0..per_teacher)];
-                    for (a, c) in codes.iter_mut().enumerate() {
-                        *c = data.value(row_idx, a)?;
+                    if onehot_cache[row_idx].is_none() {
+                        for (a, c) in codes.iter_mut().enumerate() {
+                            *c = data.value(row_idx, a)?;
+                        }
+                        let mut enc = vec![0.0f64; onehot_dim];
+                        one_hot(&codes, &blocks, &mut enc);
+                        onehot_cache[row_idx] = Some(enc.into_boxed_slice());
                     }
-                    one_hot(&codes, &blocks, &mut real_onehot);
-                    logistic_sgd_step(w, &real_onehot, 1.0, 0.05);
+                    let real_onehot = onehot_cache[row_idx].as_deref().expect("just filled");
+                    logistic_sgd_step(w, real_onehot, 1.0, 0.05);
                     logistic_sgd_step(w, &soft, 0.0, 0.05);
                 }
 
@@ -246,6 +257,59 @@ impl Synthesizer for PateCtgan {
         let fitted = self.fitted.as_ref().ok_or(SynthError::NotFitted)?;
         let mut rng = StdRng::seed_from_u64(derive_seed(seed, "patectgan-sample"));
         let d = fitted.domain.len();
+        let zd = fitted.z_dim;
+        // Pre-draw each row's latent vector and per-attribute uniforms in
+        // the exact row-major order the per-row sampler consumed them
+        // (`standard_normal`'s rare rejection retries stay inside the
+        // sequential pre-draw, so the stream cannot desynchronize).
+        let mut latents: Vec<f64> = Vec::with_capacity(n * zd);
+        let mut uniforms: Vec<f64> = Vec::with_capacity(n * d);
+        for _ in 0..n {
+            for _ in 0..zd {
+                latents.push(standard_normal(&mut rng));
+            }
+            for _ in 0..d {
+                uniforms.push(rng.gen());
+            }
+        }
+        record_sampling_pass(n as u64);
+        // Batched generator forward passes: chunked over rows and
+        // rayon-parallel — per-row math is untouched and each row reads
+        // only its own pre-drawn randomness, so the parallel pass is
+        // bit-identical to the sequential one.
+        let sample_chunk = |lo: usize, hi: usize| -> Vec<Vec<u32>> {
+            let mut cols = vec![Vec::with_capacity(hi - lo); d];
+            for r in lo..hi {
+                let logits = fitted.generator.predict(&latents[r * zd..(r + 1) * zd]);
+                let soft = block_softmax(&logits, &fitted.blocks);
+                for (a, &(off, card)) in fitted.blocks.iter().enumerate() {
+                    let mut t = uniforms[r * d + a];
+                    let mut code = card - 1;
+                    for v in 0..card {
+                        t -= soft[off + v];
+                        if t < 0.0 {
+                            code = v;
+                            break;
+                        }
+                    }
+                    cols[a].push(code as u32);
+                }
+            }
+            cols
+        };
+        let columns = assemble_chunks(n, d, parallel_rows(n), sample_chunk);
+        dataset_from_columns(&fitted.domain, columns)
+    }
+}
+
+#[cfg(test)]
+impl PateCtgan {
+    /// The original per-row sampler, retained as the differential oracle
+    /// for the batched forward-pass path.
+    fn sample_naive(&self, n: usize, seed: u64) -> Result<Dataset> {
+        let fitted = self.fitted.as_ref().ok_or(SynthError::NotFitted)?;
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, "patectgan-sample"));
+        let d = fitted.domain.len();
         let mut columns = vec![Vec::with_capacity(n); d];
         for _ in 0..n {
             let z: Vec<f64> = (0..fitted.z_dim)
@@ -286,4 +350,42 @@ fn logistic_score(w: &[f64], x: &[f64]) -> f64 {
     let bias_idx = w.len() - 1;
     let z: f64 = w[..bias_idx].iter().zip(x).map(|(a, b)| a * b).sum::<f64>() + w[bias_idx];
     1.0 / (1.0 + (-z).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synrd_data::Attribute;
+
+    fn toy_data(n: usize) -> Dataset {
+        let domain = Domain::new(vec![Attribute::binary("x"), Attribute::ordinal("y", 3)]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ds = Dataset::with_capacity(domain, n);
+        for _ in 0..n {
+            let x = u32::from(rng.gen::<f64>() < 0.4);
+            let y = if x == 1 { 2 } else { rng.gen_range(0..2) };
+            ds.push_row(&[x, y]).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn batched_sample_matches_naive() {
+        let data = toy_data(1_200);
+        let mut synth = PateCtgan::with_options(PateCtganOptions {
+            teachers: 4,
+            rounds: 4,
+            batch: 16,
+            z_dim: 8,
+            hidden: 16,
+        });
+        synth
+            .fit(&data, Privacy::approx(1.0, 1e-9).unwrap(), 3)
+            .unwrap();
+        for (n, seed) in [(0usize, 1u64), (1, 2), (311, 3), (20_000, 4)] {
+            let batched = synth.sample(n, seed).unwrap();
+            let naive = synth.sample_naive(n, seed).unwrap();
+            assert_eq!(batched, naive, "n = {n}");
+        }
+    }
 }

@@ -16,9 +16,11 @@ use crate::workload::all_pairs;
 use crate::Synthesizer;
 use rand::rngs::StdRng;
 use rand::Rng;
+use rand::RngCore;
 use rand::SeedableRng;
 use synrd_data::{Dataset, Domain, Marginal, MarginalEngine};
 use synrd_dp::{derive_seed, exponential_mechanism, laplace_mechanism, Privacy};
+use synrd_pgm::{assemble_chunks, parallel_rows, record_sampling_pass};
 
 /// Configuration for [`PrivBayes`].
 #[derive(Debug, Clone, Copy)]
@@ -212,6 +214,172 @@ impl Synthesizer for PrivBayes {
         let (domain, nodes) = self.fitted.as_ref().ok_or(SynthError::NotFitted)?;
         let mut rng = StdRng::seed_from_u64(derive_seed(seed, "privbayes-sample"));
         let d = domain.len();
+        let k = nodes.len();
+        // Node-major precompute: one conditional weight table per network
+        // node, indexed by parent configuration — built once per sample
+        // call instead of re-slicing the joint CPT per row per node.
+        let tables: Vec<CondTable> = nodes.iter().map(CondTable::build).collect();
+        // Pre-draw one raw RNG word per (row, node) in the exact row-major
+        // order the per-row sampler consumed them. Both branches of a draw
+        // (`gen_range` on a zero-mass configuration, `gen::<f64>`
+        // otherwise) consume exactly one word, so the replay below is
+        // bit-identical whatever branch each draw takes.
+        let mut words: Vec<u64> = Vec::with_capacity(n * k);
+        for _ in 0..n * k {
+            words.push(rng.next_u64());
+        }
+        record_sampling_pass(n as u64);
+        let sample_chunk = |lo: usize, hi: usize| -> Vec<Vec<u32>> {
+            let rows = hi - lo;
+            // Row-major code scratch: ancestral sampling reads each row's
+            // parent codes, written earlier in the node order.
+            let mut codes = vec![0u32; rows * d];
+            for (ni, ct) in tables.iter().enumerate() {
+                for r in 0..rows {
+                    let mut cfg = 0usize;
+                    for &(p_attr, stride) in &ct.parents {
+                        cfg += codes[r * d + p_attr] as usize * stride;
+                    }
+                    let word = WordRng::new(words[(lo + r) * k + ni]);
+                    codes[r * d + ct.attr] = ct.draw(cfg, word);
+                }
+            }
+            (0..d)
+                .map(|a| (0..rows).map(|r| codes[r * d + a]).collect())
+                .collect()
+        };
+        let columns = assemble_chunks(n, d, parallel_rows(n), sample_chunk);
+        dataset_from_columns(domain, columns)
+    }
+}
+
+/// Per-node conditional table over parent configurations: `weights` holds
+/// the clamped CPT counts for configuration `cfg` at
+/// `cfg * card ..= cfg * card + card - 1`, `totals[cfg]` their sum in the
+/// same left-to-right order the per-row sampler summed them.
+struct CondTable {
+    attr: usize,
+    card: usize,
+    /// (dataset attribute id, mixed-radix stride into the configuration id)
+    /// per parent, in the joint table's attribute order.
+    parents: Vec<(usize, usize)>,
+    weights: Vec<f64>,
+    totals: Vec<f64>,
+}
+
+impl CondTable {
+    fn build(node: &NetworkNode) -> CondTable {
+        let table = &node.table;
+        let attrs = table.attrs();
+        let shape = table.shape();
+        let attr_pos = attrs
+            .iter()
+            .position(|&a| a == node.attr)
+            .expect("attr in own table");
+        let card = shape[attr_pos];
+        // Mixed-radix strides over the parent positions (all non-attr
+        // positions, in table order).
+        let parent_pos: Vec<usize> = (0..attrs.len()).filter(|&p| p != attr_pos).collect();
+        let mut parents = Vec::with_capacity(parent_pos.len());
+        let mut cfg_stride = 1usize;
+        for &p in parent_pos.iter().rev() {
+            parents.push((attrs[p], cfg_stride, p));
+            cfg_stride *= shape[p];
+        }
+        parents.reverse();
+        let n_cfg = cfg_stride;
+        // One pass over the joint table scatters every cell into its
+        // (configuration, value) slot — same `max(0.0)` clamp as the
+        // per-row slicer.
+        let mut weights = vec![0.0f64; n_cfg * card];
+        let mut pos_codes = vec![0usize; attrs.len()];
+        for (cell, &c) in table.counts().iter().enumerate() {
+            // Decode the cell's codes (row-major over `shape`).
+            let mut rem = cell;
+            for p in (0..attrs.len()).rev() {
+                pos_codes[p] = rem % shape[p];
+                rem /= shape[p];
+            }
+            let mut cfg = 0usize;
+            for &(_, stride, p) in &parents {
+                cfg += pos_codes[p] * stride;
+            }
+            weights[cfg * card + pos_codes[attr_pos]] = c.max(0.0);
+        }
+        let totals: Vec<f64> = weights.chunks_exact(card).map(|w| w.iter().sum()).collect();
+        CondTable {
+            attr: node.attr,
+            card,
+            parents: parents
+                .into_iter()
+                .map(|(attr, stride, _)| (attr, stride))
+                .collect(),
+            weights,
+            totals,
+        }
+    }
+
+    /// Resolve one draw for configuration `cfg` from a replayed RNG word:
+    /// the same uniform-fallback / weighted-walk arithmetic as the per-row
+    /// sampler, over the precomputed weight slice.
+    #[inline]
+    fn draw(&self, cfg: usize, mut word: WordRng) -> u32 {
+        let total = self.totals[cfg];
+        if total <= 0.0 {
+            word.gen_range(0..self.card) as u32
+        } else {
+            let weights = &self.weights[cfg * self.card..(cfg + 1) * self.card];
+            let mut t = word.gen::<f64>() * total;
+            let mut picked = self.card - 1;
+            for (v, &w) in weights.iter().enumerate() {
+                t -= w;
+                if t < 0.0 {
+                    picked = v;
+                    break;
+                }
+            }
+            picked as u32
+        }
+    }
+}
+
+/// Replays one pre-drawn 64-bit RNG word through the standard `Rng`
+/// adapters, so the batched sampler reuses the exact `gen` / `gen_range`
+/// arithmetic of the sequential RNG without duplicating it. A draw that
+/// consumed more than one word would desynchronize the replay, so a second
+/// `next_u64` panics in debug builds.
+struct WordRng {
+    word: u64,
+    taken: bool,
+}
+
+impl WordRng {
+    fn new(word: u64) -> WordRng {
+        WordRng { word, taken: false }
+    }
+}
+
+impl RngCore for WordRng {
+    fn next_u64(&mut self) -> u64 {
+        debug_assert!(!self.taken, "replayed draw consumed a second RNG word");
+        self.taken = true;
+        self.word
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        // Same word-to-u32 narrowing as the vendored StdRng.
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+#[cfg(test)]
+impl PrivBayes {
+    /// The original per-row sampler, retained as the differential oracle
+    /// for the node-major batched path.
+    fn sample_naive(&self, n: usize, seed: u64) -> Result<Dataset> {
+        let (domain, nodes) = self.fitted.as_ref().ok_or(SynthError::NotFitted)?;
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, "privbayes-sample"));
+        let d = domain.len();
         let mut columns = vec![vec![0u32; n]; d];
         let mut row = vec![0u32; d];
         for r in 0..n {
@@ -317,6 +485,24 @@ mod tests {
         result.unwrap();
         let structure = synth.structure().unwrap();
         assert!(structure.iter().all(|(_, p)| p.is_empty()));
+    }
+
+    #[test]
+    fn batched_sample_matches_naive() {
+        let data = parented_data(3_000);
+        let mut synth = PrivBayes::default();
+        synth.fit(&data, Privacy::pure(2.0).unwrap(), 7).unwrap();
+        for (n, seed) in [(0usize, 1u64), (1, 2), (777, 3), (20_000, 4)] {
+            let batched = synth.sample(n, seed).unwrap();
+            let naive = synth.sample_naive(n, seed).unwrap();
+            assert_eq!(batched, naive, "n = {n}");
+        }
+        // A tiny ε starves some parent configurations to zero mass after
+        // clamping, exercising the uniform-fallback draw on both paths.
+        let mut starved = PrivBayes::default();
+        starved.fit(&data, Privacy::pure(0.01).unwrap(), 3).unwrap();
+        let batched = starved.sample(5_000, 9).unwrap();
+        assert_eq!(batched, starved.sample_naive(5_000, 9).unwrap());
     }
 
     #[test]
