@@ -1,6 +1,7 @@
 //! Records the kernel performance trajectory to `BENCH_pgm.json` (factor
-//! algebra), `BENCH_marginal.json` (marginal-counting engine) and
-//! `BENCH_sampling.json` (row-generation engine).
+//! algebra), `BENCH_marginal.json` (marginal-counting engine),
+//! `BENCH_sampling.json` (row-generation engine) and `BENCH_dataset.json`
+//! (bit-packed columnar storage).
 //!
 //! Times a small fixed grid of calibration problems through both factor
 //! algebras — the stride kernels that power production and the retained
@@ -10,13 +11,17 @@
 //! through the `MarginalEngine` vs the naive per-row counter; then the
 //! sampling side: batched clique-major `TreeSampler::sample_columns` vs
 //! the retained per-row oracle, with batched-vs-naive and
-//! parallel-vs-sequential bit-identity asserted on every problem. Results
-//! are written as canonical JSON (via `synrd-store`) so the repo carries a
-//! comparable perf record from PR to PR.
+//! parallel-vs-sequential bit-identity asserted on every problem; and
+//! finally the storage side: the packed-word counting kernels vs the
+//! retained `u32`-slice kernel on the same fused sweeps, decode throughput,
+//! and packed-vs-unpacked bytes per row across the ten registry datasets.
+//! Results are written as canonical JSON (via `synrd-store`) so the repo
+//! carries a comparable perf record from PR to PR.
 //!
 //! ```text
 //! cargo run --release -p synrd-bench --bin perfgrid \
-//!     [--quick] [--out PATH] [--marginal-out PATH] [--sampling-out PATH]
+//!     [--quick] [--out PATH] [--marginal-out PATH] [--sampling-out PATH] \
+//!     [--dataset-out PATH]
 //! ```
 //!
 //! `--quick` shrinks repetitions for CI smoke runs; the JSON schemas are
@@ -341,6 +346,177 @@ fn sampling_section(quick: bool, out_path: &str) -> f64 {
     min_speedup
 }
 
+/// The dataset-storage quarter of the perf record: the packed block-decode
+/// counting kernels vs the retained `u32`-slice kernel on the same fused
+/// sweeps (bit-identity asserted first), bulk decode throughput, and
+/// packed-vs-unpacked bytes per row across the ten registry datasets.
+/// Writes `BENCH_dataset.json`; returns `(marginal sweep speedup, min
+/// bytes-per-row compression ratio)`.
+fn dataset_section(quick: bool, out_path: &str) -> (f64, f64) {
+    use synrd_data::engine::unpacked::count_many_unpacked;
+    use synrd_data::{BenchmarkDataset, ColumnAccess, DEFAULT_CELL_LIMIT};
+
+    let rows = if quick { 40_000 } else { 120_000 };
+    let d = 12usize;
+    let shape = synrd_bench::marginal_bench_shape(d);
+    let data = synrd_bench::marginal_bench_dataset(rows, &shape);
+    let columns = data.to_columns();
+    let reps = if quick { 5 } else { 15 };
+    let one_ways: Vec<Vec<usize>> = (0..d).map(|a| vec![a]).collect();
+    let pairs: Vec<Vec<usize>> = (0..d)
+        .flat_map(|a| ((a + 1)..d).map(move |b| vec![a, b]))
+        .collect();
+    let mut bench_rows = Vec::new();
+    let mut marginal_sweep_speedup = f64::INFINITY;
+
+    // Packed kernels vs the retained u32-slice kernel, on the same fused
+    // batches the synthesizers issue. Bit-identity first, then timings.
+    // The marginal sweep is the gated metric: its bit-sliced counting is
+    // the kernel shape packing enables. The pair sweep is recorded as
+    // context — it is histogram-bump-bound, so packing trades decode cost
+    // for smaller streams and lands near parity by construction.
+    let sweeps: [(&str, &[Vec<usize>], bool); 2] = [
+        ("marginal-sweep", &one_ways, true),
+        ("pair-sweep", &pairs, false),
+    ];
+    for (name, sets, gated) in sweeps {
+        let packed_tables = MarginalEngine::new(&data)
+            .count_many(sets)
+            .expect("packed count");
+        let unpacked_tables =
+            count_many_unpacked(data.domain(), &columns, sets, DEFAULT_CELL_LIMIT)
+                .expect("unpacked count");
+        assert_eq!(packed_tables, unpacked_tables, "{name}: packed != unpacked");
+
+        let packed_ns = median_ns(reps, || {
+            let mut engine = MarginalEngine::new(&data);
+            let batch = engine.count_many(sets).expect("count");
+            black_box(batch.iter().map(Marginal::total).sum::<f64>());
+        });
+        let unpacked_ns = median_ns(reps, || {
+            let batch = count_many_unpacked(data.domain(), &columns, sets, DEFAULT_CELL_LIMIT)
+                .expect("count");
+            black_box(batch.iter().map(Marginal::total).sum::<f64>());
+        });
+        let speedup = unpacked_ns / packed_ns;
+        if gated {
+            marginal_sweep_speedup = marginal_sweep_speedup.min(speedup);
+        }
+        println!(
+            "dataset    {:<14} packed {:>10.0} ns   u32 {:>12.0} ns   speedup {:>5.2}x",
+            name, packed_ns, unpacked_ns, speedup
+        );
+        bench_rows.push(JsonValue::obj(vec![
+            ("name", JsonValue::Str(name.to_string())),
+            ("sets", JsonValue::Uint(sets.len() as u64)),
+            ("packed_ns", JsonValue::Num(packed_ns)),
+            ("unpacked_ns", JsonValue::Num(unpacked_ns)),
+            ("speedup", JsonValue::Num(speedup)),
+            ("bit_identical", JsonValue::Bool(true)),
+        ]));
+    }
+
+    // Bulk decode throughput: unpack every column of the bench grid into a
+    // reused scratch buffer (the consumer path for per-code readers).
+    let mut scratch = Vec::new();
+    let decode_ns = median_ns(reps, || {
+        let mut sink = 0u64;
+        for a in 0..d {
+            data.decode_column_into(a, &mut scratch).expect("decode");
+            sink = sink.wrapping_add(u64::from(scratch[rows - 1]));
+        }
+        black_box(sink);
+    });
+    let decoded_codes = (rows * d) as f64;
+    let decode_rate = decoded_codes / (decode_ns * 1e-9);
+    println!(
+        "dataset    {:<14} decode {:>10.0} ns   ({:.0}M codes/s)",
+        "decode-all",
+        decode_ns,
+        decode_rate / 1e6
+    );
+
+    // Storage footprint across the registry: packed words vs the 4-byte
+    // codes the pre-packing Dataset stored, per dataset and per row.
+    let reg_rows = if quick { 5_000 } else { 20_000 };
+    let mut registry_rows = Vec::new();
+    let mut min_ratio = f64::INFINITY;
+    for bd in BenchmarkDataset::ALL {
+        let ds = bd.generate(reg_rows, 11);
+        let packed = ds.packed_bytes();
+        let unpacked = ds.unpacked_bytes();
+        let ratio = unpacked as f64 / packed as f64;
+        min_ratio = min_ratio.min(ratio);
+        let packed_per_row = packed as f64 / reg_rows as f64;
+        // Aggregate code width across the domain, in bits per row.
+        let bits_per_row: usize = (0..ds.n_attrs())
+            .map(|a| ds.packed_column(a).expect("attr").width() as usize)
+            .sum();
+        println!(
+            "dataset    {:<14} packed {:>6.1} B/row   u32 {:>5} B/row   ratio {:>5.2}x   \
+             ({} bits)",
+            bd.id(),
+            packed_per_row,
+            ds.n_attrs() * 4,
+            ratio,
+            bits_per_row
+        );
+        registry_rows.push(JsonValue::obj(vec![
+            ("name", JsonValue::Str(bd.id().to_string())),
+            ("attrs", JsonValue::Uint(ds.n_attrs() as u64)),
+            ("rows", JsonValue::Uint(reg_rows as u64)),
+            ("packed_bytes", JsonValue::Uint(packed as u64)),
+            ("unpacked_bytes", JsonValue::Uint(unpacked as u64)),
+            ("packed_bytes_per_row", JsonValue::Num(packed_per_row)),
+            ("code_bits_per_row", JsonValue::Uint(bits_per_row as u64)),
+            ("compression_ratio", JsonValue::Num(ratio)),
+        ]));
+    }
+
+    let doc = JsonValue::obj(vec![
+        (
+            "schema",
+            JsonValue::Str("synrd-bench-dataset/1".to_string()),
+        ),
+        (
+            "mode",
+            JsonValue::Str(if quick { "quick" } else { "full" }.to_string()),
+        ),
+        ("rows", JsonValue::Uint(rows as u64)),
+        ("attrs", JsonValue::Uint(d as u64)),
+        (
+            "threads",
+            JsonValue::Uint(rayon::current_num_threads() as u64),
+        ),
+        ("sweeps", JsonValue::Arr(bench_rows)),
+        (
+            "decode",
+            JsonValue::obj(vec![
+                ("decode_ns", JsonValue::Num(decode_ns)),
+                ("codes", JsonValue::Num(decoded_codes)),
+                ("codes_per_second", JsonValue::Num(decode_rate)),
+            ]),
+        ),
+        ("registry", JsonValue::Arr(registry_rows)),
+        (
+            "summary",
+            JsonValue::obj(vec![
+                (
+                    "marginal_sweep_speedup",
+                    JsonValue::Num(marginal_sweep_speedup),
+                ),
+                ("compression_ratio_min", JsonValue::Num(min_ratio)),
+            ]),
+        ),
+    ]);
+    std::fs::write(out_path, format!("{}\n", doc.to_text())).expect("write BENCH_dataset.json");
+    println!(
+        "wrote {out_path} (marginal sweep speedup {marginal_sweep_speedup:.2}x, \
+         min compression {min_ratio:.2}x)"
+    );
+    (marginal_sweep_speedup, min_ratio)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -362,6 +538,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_sampling.json".to_string());
+    let dataset_out = args
+        .iter()
+        .position(|a| a == "--dataset-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_dataset.json".to_string());
     let reps = if quick { 7 } else { 31 };
 
     // --- Kernel grid: stride vs naive calibration -------------------------
@@ -497,6 +679,9 @@ fn main() {
     // --- Sampling engine: the row-generation path --------------------------
     let sampling_min = sampling_section(quick, &sampling_out);
 
+    // --- Dataset storage: packed words vs u32 slices -----------------------
+    let (dataset_min, compression_min) = dataset_section(quick, &dataset_out);
+
     if min_speedup < 1.0 {
         eprintln!("warning: stride kernels slower than naive on some problem");
         std::process::exit(1);
@@ -523,6 +708,23 @@ fn main() {
             "warning: sampling engine under the {sampling_gate:.1}x sample_columns gate \
              ({sampling_min:.2}x)"
         );
+        std::process::exit(1);
+    }
+    // The packed marginal sweep (bit-sliced one-way counting) must beat the
+    // retained u32-slice kernel by 1.25x on the full grid — the checked-in
+    // record sits near 2x. Softened in --quick mode where short reps on
+    // noisy CI runners can shave the ratio without any code regression.
+    let dataset_gate = if quick { 1.05 } else { 1.25 };
+    if dataset_min < dataset_gate {
+        eprintln!(
+            "warning: packed marginal sweep under the {dataset_gate:.2}x gate ({dataset_min:.2}x)"
+        );
+        std::process::exit(1);
+    }
+    // Storage compression is deterministic (no timing noise): every registry
+    // dataset must pack at least 4x denser than 4-byte codes.
+    if compression_min < 4.0 {
+        eprintln!("warning: registry compression under the 4x gate ({compression_min:.2}x)");
         std::process::exit(1);
     }
 }

@@ -162,8 +162,9 @@ impl Publication for Fairman2019 {
                     let ln_or = |code: u32| -> Result<f64> {
                         let mut t = [0.0f64; 4];
                         for r in 0..ds.n_rows() {
-                            let e = u32::from(ds.value(r, first)? == code);
-                            let o = u32::from(ds.value(r, outcome)? >= 5);
+                            let row = ds.row(r);
+                            let e = u32::from(row.get(first) == code);
+                            let o = u32::from(row.get(outcome) >= 5);
                             let idx = match (e, o) {
                                 (1, 1) => 0,
                                 (1, 0) => 1,

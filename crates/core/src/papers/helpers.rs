@@ -17,7 +17,7 @@ pub(crate) fn col(ds: &Dataset, name: &str) -> Result<Vec<f64>> {
 
 /// Raw codes by attribute name.
 pub(crate) fn codes(ds: &Dataset, name: &str) -> Result<Vec<u32>> {
-    Ok(ds.column_by_name(name)?.to_vec())
+    Ok(ds.decode_column_by_name(name)?)
 }
 
 /// Proportion of rows with `attr == code`.

@@ -14,7 +14,7 @@ use crate::finding::{Check, Finding, FindingType as FT};
 use crate::publication::Publication;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use synrd_data::{BenchmarkDataset, Dataset};
+use synrd_data::{BenchmarkDataset, ColumnAccess, Dataset};
 use synrd_ml::{
     group_metrics, train_test_split, ForestOptions, Metrics, RandomForest, TreeOptions,
 };
@@ -42,13 +42,16 @@ fn prepare(ds: &Dataset) -> Result<SupervisedData> {
             continue;
         }
         // Codes as numeric features; the survey items are ordinal anyway.
-        let column = ds.column(a)?;
-        for (r, &code) in column.iter().enumerate() {
+        let mut r = 0;
+        ds.packed_column(a)?.for_each_code(|code| {
             features[r].push(f64::from(code));
-        }
+            r += 1;
+        });
     }
-    let y: Vec<f64> = ds.column(label)?.iter().map(|&c| f64::from(c)).collect();
-    let groups: Vec<u32> = ds.column(race)?.to_vec();
+    let mut y: Vec<f64> = Vec::with_capacity(ds.n_rows());
+    ds.packed_column(label)?
+        .for_each_code(|c| y.push(f64::from(c)));
+    let groups: Vec<u32> = ds.decode_column(race)?;
     Ok((features, y, groups))
 }
 
@@ -77,9 +80,7 @@ fn fingerprint(ds: &Dataset) -> Result<u64> {
     mix(ds.n_attrs() as u64);
     for name in ["top50", "race_group", "ses"] {
         let idx = ds.domain().index_of(name)?;
-        for &c in ds.column(idx)? {
-            mix(u64::from(c));
-        }
+        ds.packed_column(idx)?.for_each_code(|c| mix(u64::from(c)));
     }
     Ok(h)
 }

@@ -41,9 +41,9 @@ impl VisualFinding {
         let g_card = ds.domain().cardinality(group)?;
         let v_card = ds.domain().cardinality(value)?;
         let mut counts = vec![vec![0.0f64; v_card]; g_card];
-        let g_col = ds.column(group)?;
-        let v_col = ds.column(value)?;
-        for (g, v) in g_col.iter().zip(v_col) {
+        let g_col = ds.decode_column(group)?;
+        let v_col = ds.decode_column(value)?;
+        for (g, v) in g_col.iter().zip(&v_col) {
             counts[*g as usize][*v as usize] += 1.0;
         }
         for row in &mut counts {

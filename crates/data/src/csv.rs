@@ -30,11 +30,12 @@ pub fn write_csv<W: Write>(dataset: &Dataset, out: &mut W) -> Result<()> {
     let mut line = String::new();
     for r in 0..dataset.n_rows() {
         line.clear();
+        let row = dataset.row(r);
         for a in 0..dataset.n_attrs() {
             if a > 0 {
                 line.push(',');
             }
-            let code = dataset.value(r, a)?;
+            let code = row.get(a);
             let label = dataset
                 .domain()
                 .attribute(a)?

@@ -12,14 +12,17 @@
 //! a pass. This module removes it in three layers:
 //!
 //! 1. **Kernel** — single-pass counting into `u64` integer accumulators
-//!    with precomputed per-attribute stride tables. One- and two-way sets
-//!    (the overwhelming majority) get specialized zipped-column loops; wider
-//!    sets accumulate mixed-radix indices column-by-column into a reusable
-//!    index scratch, so there is no per-row inner loop and no per-cell heap
-//!    allocation anywhere. [`MarginalEngine::count_many`] fuses a whole
-//!    batch of attribute sets into one chunked sweep over the columns, so a
-//!    selection loop's entire candidate pool is answered with the data
-//!    streamed through cache once per chunk.
+//!    with precomputed per-attribute stride tables, streaming straight from
+//!    the bit-packed word image ([`crate::packed::PackedColumn`]): the
+//!    memory the sweep actually reads is `ceil(log2(card))` bits per cell,
+//!    not a `u32`. One-way sets unpack-and-count directly from words; wider
+//!    sets share per-block decode scratch — each distinct column of a fused
+//!    batch is unpacked once per cache-sized block, then the specialized
+//!    two-way zips and the column-major mixed-radix accumulator run over
+//!    the L1-resident decoded slices, so the DRAM traffic of a selection
+//!    loop's whole candidate pool is the packed words, streamed once per
+//!    chunk. There is no per-row inner loop and no per-cell heap
+//!    allocation anywhere.
 //! 2. **Parallelism** — row-chunked counting with per-thread scratch
 //!    histograms merged by integer addition. `u64` addition is associative
 //!    and commutative, so the merged counts are *bit-identical* to the
@@ -33,11 +36,16 @@
 //!    hits for recounts instead of memory. The process-wide
 //!    [`marginal_counts_performed`] counter (mirroring the grid driver's
 //!    fit counter) makes the at-most-once property provable in tests.
+//!
+//! The pre-packing `u32`-slice kernel is retained verbatim in
+//! [`unpacked`] (tests and the `naive-reference` feature) as the
+//! differential oracle and the packed-vs-unpacked benchmark baseline.
 
 use crate::dataset::Dataset;
 use crate::domain::validate_attr_set;
 use crate::error::{DataError, Result};
 use crate::marginal::{mi_from_joint, strides_of, Marginal, DEFAULT_CELL_LIMIT};
+use crate::packed::{ColumnAccess, PackedColumn};
 use rayon::prelude::*;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -61,17 +69,24 @@ pub fn marginal_counts_performed() -> u64 {
 /// histograms) inside the cache hierarchy.
 const CHUNK_ROWS: usize = 1 << 16;
 
+/// Rows per decode block inside a chunk: each distinct column of the batch
+/// is unpacked once per block into scratch (32 KB per column), sized so a
+/// dozen decoded columns plus the batch histograms stay L2-resident while
+/// the counting loops re-read them once per plan, and large enough that the
+/// per-block lane setup/merge stays negligible against the counting.
+const BLOCK_ROWS: usize = 8192;
+
 /// Minimum rows before a sweep fans out across threads; below this the
 /// per-chunk scratch allocation outweighs the win.
 const PAR_ROW_THRESHOLD: usize = 1 << 15;
 
-/// Precomputed counting plan for one attribute set: resolved column slices,
-/// the per-attribute stride table, and the table geometry.
+/// Precomputed counting plan for one attribute set: resolved packed
+/// columns, the per-attribute stride table, and the table geometry.
 struct CountPlan<'d> {
     attrs: Vec<usize>,
     shape: Vec<usize>,
     strides: Vec<usize>,
-    cols: Vec<&'d [u32]>,
+    cols: Vec<&'d PackedColumn>,
     cells: usize,
 }
 
@@ -91,9 +106,9 @@ impl<'d> CountPlan<'d> {
             .iter()
             .map(|&a| dataset.domain().cardinality(a))
             .collect::<Result<_>>()?;
-        let cols: Vec<&[u32]> = attrs
+        let cols: Vec<&PackedColumn> = attrs
             .iter()
-            .map(|&a| dataset.column(a))
+            .map(|&a| dataset.packed_column(a))
             .collect::<Result<_>>()?;
         Ok(CountPlan {
             attrs: attrs.to_vec(),
@@ -123,10 +138,13 @@ impl<'d> CountPlan<'d> {
 /// extra tables would pollute the cache more than the chain costs.
 const LANE_CELL_LIMIT: usize = 1 << 12;
 
-/// Reusable scratch for one counting thread: the mixed-radix index buffer
-/// (sets wider than two attributes) and the extra histogram lanes.
+/// Reusable scratch for one counting thread: the per-block decoded columns
+/// (one buffer per distinct attribute of the fused batch), the mixed-radix
+/// index buffer (sets wider than two attributes) and the extra histogram
+/// lanes.
 #[derive(Default)]
 struct CountScratch {
+    decoded: Vec<Vec<u32>>,
     idx: Vec<usize>,
     lanes: Vec<u64>,
 }
@@ -150,42 +168,236 @@ fn with_lanes(
     }
 }
 
-/// Count rows `lo..hi` of one plan into `hist`.
-fn count_range(
+/// The decode layout of a fused sweep: the distinct packed columns that the
+/// multi-attribute plans share (each decoded once per block), and for every
+/// plan the positions of its attributes inside that decode set. One-way
+/// plans never decode — they unpack-and-count straight from the words — so
+/// they contribute no columns and carry an empty slot map.
+fn sweep_layout<'d>(plans: &[CountPlan<'d>]) -> (Vec<&'d PackedColumn>, Vec<Vec<usize>>) {
+    let mut distinct_attrs: Vec<usize> = Vec::new();
+    let mut distinct: Vec<&'d PackedColumn> = Vec::new();
+    let slots: Vec<Vec<usize>> = plans
+        .iter()
+        .map(|plan| {
+            if plan.cols.len() < 2 {
+                return Vec::new();
+            }
+            plan.attrs
+                .iter()
+                .zip(&plan.cols)
+                .map(
+                    |(&a, &col)| match distinct_attrs.iter().position(|&x| x == a) {
+                        Some(slot) => slot,
+                        None => {
+                            distinct_attrs.push(a);
+                            distinct.push(col);
+                            distinct.len() - 1
+                        }
+                    },
+                )
+                .collect()
+        })
+        .collect();
+    (distinct, slots)
+}
+
+/// Count rows `lo..hi` of a one-way plan straight from the packed words:
+/// no decode scratch. A constant column is a single addition for the whole
+/// range; widths 1–3 use bit-sliced equality counting (cost scales with the
+/// cardinality, not the rows); wider codes take one shift-mask-bump per row.
+fn count_one_way(col: &PackedColumn, lo: usize, hi: usize, hist: &mut [u64], lanes: &mut Vec<u64>) {
+    let width = col.width() as usize;
+    if width == 0 {
+        hist[0] += (hi - lo) as u64;
+        return;
+    }
+    if hist.len() > LANE_CELL_LIMIT {
+        col.for_each_range(lo, hi, |c| hist[c as usize] += 1);
+        return;
+    }
+    // Narrow codes (width ≤ 3, so cardinality ≤ 8): bit-sliced equality
+    // counting. For each value, one XOR + OR-collapse + POPCNT counts its
+    // occurrences across a whole word of `64 / width` rows, so the cost
+    // scales with the cardinality instead of the row count — a kernel shape
+    // the packed layout enables and a `u32` slice cannot express.
+    match col.width() {
+        1 => return count_one_way_eq::<1>(col.iter_words(), lo, hi, hist),
+        2 => return count_one_way_eq::<2>(col.iter_words(), lo, hi, hist),
+        3 => return count_one_way_eq::<3>(col.iter_words(), lo, hi, hist),
+        _ => {}
+    }
+    // Word-major with four interleaved lanes: one u64 load covers
+    // `64 / width` rows, each extracted by a shift-and-mask with no
+    // cross-iteration dependency. Widths 4–8 dispatch to a const-width body
+    // whose shift amounts are immediates and whose per-word loop fully
+    // unrolls (mirroring `decode_range_into`); wider codes take the
+    // runtime-width body.
+    with_lanes(hist, lanes, |h0, l1, l2, l3| match col.width() {
+        4 => count_one_way_words::<4>(col.iter_words(), lo, hi, h0, l1, l2, l3),
+        5 => count_one_way_words::<5>(col.iter_words(), lo, hi, h0, l1, l2, l3),
+        6 => count_one_way_words::<6>(col.iter_words(), lo, hi, h0, l1, l2, l3),
+        7 => count_one_way_words::<7>(col.iter_words(), lo, hi, h0, l1, l2, l3),
+        8 => count_one_way_words::<8>(col.iter_words(), lo, hi, h0, l1, l2, l3),
+        _ => count_one_way_words_generic(col.iter_words(), width, lo, hi, h0, l1, l2, l3),
+    });
+}
+
+/// Bit-sliced equality counting for [`count_one_way`] over narrow codes
+/// (`WIDTH` ≤ 3): for each value `v` of the (≤ 8-value) alphabet, XOR the
+/// word against `v` replicated into every field, OR-collapse each field
+/// onto its low bit, and POPCNT the non-matches — `64 / WIDTH` rows per
+/// popcount. Partial words at the range ends fall back to shift-and-mask,
+/// so column padding is never touched. All counts are exact `u64`s, so the
+/// histogram is bit-identical to the per-row bump.
+#[inline(always)]
+fn count_one_way_eq<const WIDTH: usize>(words: &[u64], lo: usize, hi: usize, hist: &mut [u64]) {
+    let per_word = 64 / WIDTH;
+    let mask = (1u64 << WIDTH) - 1;
+    let head_end = hi.min(lo.next_multiple_of(per_word));
+    for r in lo..head_end {
+        hist[((words[r / per_word] >> ((r % per_word) * WIDTH)) & mask) as usize] += 1;
+    }
+    if head_end == hi {
+        return;
+    }
+    // A 1 at the low bit of every field (the top `64 % WIDTH` padding bits
+    // stay clear); multiplying by `v < 2^WIDTH` replicates `v` into each
+    // field without carries.
+    let mut lsb = 0u64;
+    let mut k = 0usize;
+    while k < per_word {
+        lsb |= 1 << (k * WIDTH);
+        k += 1;
+    }
+    let full = &words[head_end / per_word..hi / per_word];
+    for (v, cell) in hist.iter_mut().enumerate() {
+        let bcast = lsb.wrapping_mul(v as u64);
+        let mut matches = 0u64;
+        for &w in full {
+            let t = w ^ bcast;
+            let mut z = t;
+            let mut s = 1usize;
+            while s < WIDTH {
+                z |= t >> s;
+                s += 1;
+            }
+            matches += per_word as u64 - u64::from((z & lsb).count_ones());
+        }
+        *cell += matches;
+    }
+    for r in (hi / per_word) * per_word..hi {
+        hist[((words[r / per_word] >> ((r % per_word) * WIDTH)) & mask) as usize] += 1;
+    }
+}
+
+/// Const-width word-major histogram body for [`count_one_way`]: `WIDTH` is
+/// a compile-time constant, so every shift amount is an immediate and the
+/// per-word extraction loop unrolls completely.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn count_one_way_words<const WIDTH: usize>(
+    words: &[u64],
+    lo: usize,
+    hi: usize,
+    h0: &mut [u64],
+    l1: &mut [u64],
+    l2: &mut [u64],
+    l3: &mut [u64],
+) {
+    let per_word = 64 / WIDTH;
+    let mask = (1u64 << WIDTH) - 1;
+    let head_end = hi.min(lo.next_multiple_of(per_word));
+    for r in lo..head_end {
+        h0[((words[r / per_word] >> ((r % per_word) * WIDTH)) & mask) as usize] += 1;
+    }
+    if head_end == hi {
+        return;
+    }
+    let last_word = hi / per_word;
+    for &w in &words[head_end / per_word..last_word] {
+        let mut k = 0usize;
+        while k + 4 <= per_word {
+            h0[((w >> (k * WIDTH)) & mask) as usize] += 1;
+            l1[((w >> ((k + 1) * WIDTH)) & mask) as usize] += 1;
+            l2[((w >> ((k + 2) * WIDTH)) & mask) as usize] += 1;
+            l3[((w >> ((k + 3) * WIDTH)) & mask) as usize] += 1;
+            k += 4;
+        }
+        while k < per_word {
+            h0[((w >> (k * WIDTH)) & mask) as usize] += 1;
+            k += 1;
+        }
+    }
+    for r in last_word * per_word..hi {
+        h0[((words[r / per_word] >> ((r % per_word) * WIDTH)) & mask) as usize] += 1;
+    }
+}
+
+/// Runtime-width fallback of [`count_one_way_words`] for codes wider than 8
+/// bits (cardinalities above 256 — rare in the benchmark's social-science
+/// domains).
+#[inline(never)]
+#[allow(clippy::too_many_arguments)]
+fn count_one_way_words_generic(
+    words: &[u64],
+    width: usize,
+    lo: usize,
+    hi: usize,
+    h0: &mut [u64],
+    l1: &mut [u64],
+    l2: &mut [u64],
+    l3: &mut [u64],
+) {
+    let per_word = 64 / width;
+    let mask = (1u64 << width) - 1;
+    let head_end = hi.min(lo.next_multiple_of(per_word));
+    for r in lo..head_end {
+        h0[((words[r / per_word] >> ((r % per_word) * width)) & mask) as usize] += 1;
+    }
+    if head_end == hi {
+        return;
+    }
+    let last_word = hi / per_word;
+    for &w in &words[head_end / per_word..last_word] {
+        let mut k = 0usize;
+        while k + 4 <= per_word {
+            h0[((w >> (k * width)) & mask) as usize] += 1;
+            l1[((w >> ((k + 1) * width)) & mask) as usize] += 1;
+            l2[((w >> ((k + 2) * width)) & mask) as usize] += 1;
+            l3[((w >> ((k + 3) * width)) & mask) as usize] += 1;
+            k += 4;
+        }
+        while k < per_word {
+            h0[((w >> (k * width)) & mask) as usize] += 1;
+            k += 1;
+        }
+    }
+    for r in last_word * per_word..hi {
+        h0[((words[r / per_word] >> ((r % per_word) * width)) & mask) as usize] += 1;
+    }
+}
+
+/// Count one block (`lo..hi`, already decoded into `decoded` per the plan's
+/// slot map) into `hist`.
+#[allow(clippy::too_many_arguments)]
+fn count_block(
     plan: &CountPlan<'_>,
+    slots: &[usize],
+    decoded: &[Vec<u32>],
     lo: usize,
     hi: usize,
     hist: &mut [u64],
-    scratch: &mut CountScratch,
+    idx_scratch: &mut Vec<usize>,
+    lanes: &mut Vec<u64>,
 ) {
-    let lanes = hist.len() <= LANE_CELL_LIMIT;
-    match plan.cols.as_slice() {
-        [col] => {
-            let col = &col[lo..hi];
-            if lanes {
-                with_lanes(hist, &mut scratch.lanes, |h0, l1, l2, l3| {
-                    let mut quads = col.chunks_exact(4);
-                    for q in quads.by_ref() {
-                        h0[q[0] as usize] += 1;
-                        l1[q[1] as usize] += 1;
-                        l2[q[2] as usize] += 1;
-                        l3[q[3] as usize] += 1;
-                    }
-                    for &c in quads.remainder() {
-                        h0[c as usize] += 1;
-                    }
-                });
-            } else {
-                for &c in col {
-                    hist[c as usize] += 1;
-                }
-            }
-        }
-        [ca, cb] => {
+    let use_lanes = hist.len() <= LANE_CELL_LIMIT;
+    match slots {
+        [] => count_one_way(plan.cols[0], lo, hi, hist, lanes),
+        [sa, sb] => {
             let stride = plan.strides[0];
-            let (ca, cb) = (&ca[lo..hi], &cb[lo..hi]);
-            if lanes {
-                with_lanes(hist, &mut scratch.lanes, |h0, l1, l2, l3| {
+            let (ca, cb) = (&decoded[*sa][..], &decoded[*sb][..]);
+            if use_lanes {
+                with_lanes(hist, lanes, |h0, l1, l2, l3| {
                     let mut qa = ca.chunks_exact(4);
                     let mut qb = cb.chunks_exact(4);
                     for (a, b) in qa.by_ref().zip(qb.by_ref()) {
@@ -204,21 +416,20 @@ fn count_range(
                 }
             }
         }
-        cols => {
+        slots => {
             // Column-major mixed-radix accumulation: one vectorizable pass
             // per attribute into the index scratch, then one bump pass.
             let n = hi - lo;
-            let idx = &mut scratch.idx;
-            idx.clear();
-            idx.resize(n, 0);
-            for (col, &stride) in cols.iter().zip(&plan.strides) {
-                for (i, &c) in idx.iter_mut().zip(&col[lo..hi]) {
+            idx_scratch.clear();
+            idx_scratch.resize(n, 0);
+            for (&slot, &stride) in slots.iter().zip(&plan.strides) {
+                for (i, &c) in idx_scratch.iter_mut().zip(&decoded[slot]) {
                     *i += c as usize * stride;
                 }
             }
-            let idx = &scratch.idx;
-            if lanes {
-                with_lanes(hist, &mut scratch.lanes, |h0, l1, l2, l3| {
+            let idx = &*idx_scratch;
+            if use_lanes {
+                with_lanes(hist, lanes, |h0, l1, l2, l3| {
                     let mut quads = idx.chunks_exact(4);
                     for q in quads.by_ref() {
                         h0[q[0]] += 1;
@@ -239,11 +450,52 @@ fn count_range(
     }
 }
 
+/// Count rows `lo..hi` of a whole fused batch: per decode block, unpack
+/// each distinct multi-attribute column once into scratch, then run every
+/// plan's counting loop over the decoded slices (one-way plans stream the
+/// words directly).
+fn count_chunk(
+    plans: &[CountPlan<'_>],
+    distinct: &[&PackedColumn],
+    slots: &[Vec<usize>],
+    lo: usize,
+    hi: usize,
+    hists: &mut [Vec<u64>],
+    scratch: &mut CountScratch,
+) {
+    if scratch.decoded.len() < distinct.len() {
+        scratch.decoded.resize_with(distinct.len(), Vec::new);
+    }
+    let mut blo = lo;
+    while blo < hi {
+        let bhi = (blo + BLOCK_ROWS).min(hi);
+        let n = bhi - blo;
+        for (buf, col) in scratch.decoded.iter_mut().zip(distinct) {
+            buf.clear();
+            buf.resize(n, 0);
+            col.decode_range_into(blo, bhi, buf);
+        }
+        for ((plan, slot), hist) in plans.iter().zip(slots).zip(hists.iter_mut()) {
+            count_block(
+                plan,
+                slot,
+                &scratch.decoded,
+                blo,
+                bhi,
+                hist,
+                &mut scratch.idx,
+                &mut scratch.lanes,
+            );
+        }
+        blo = bhi;
+    }
+}
+
 /// Run one fused sweep over `rows` rows for a batch of plans, returning one
 /// `u64` histogram per plan. Chunked for locality; parallel across chunks
 /// when `parallel` is set. Per-thread partial histograms are merged by
 /// integer addition (associative), so the result is bit-identical to the
-/// sequential sweep regardless of chunking or thread count.
+/// sequential sweep regardless of chunking, blocking or thread count.
 fn sweep_plans(
     plans: &[CountPlan<'_>],
     rows: usize,
@@ -253,6 +505,7 @@ fn sweep_plans(
     for _ in plans {
         MARGINAL_COUNTS.fetch_add(1, Ordering::Relaxed);
     }
+    let (distinct, slots) = sweep_layout(plans);
     let chunk_rows = chunk_rows.max(1);
     let n_chunks = rows.div_ceil(chunk_rows).max(1);
     if !parallel || n_chunks <= 1 {
@@ -261,26 +514,21 @@ fn sweep_plans(
         for c in 0..n_chunks {
             let lo = c * chunk_rows;
             let hi = ((c + 1) * chunk_rows).min(rows);
-            for (plan, hist) in plans.iter().zip(&mut hists) {
-                count_range(plan, lo, hi, hist, &mut scratch);
-            }
+            count_chunk(plans, &distinct, &slots, lo, hi, &mut hists, &mut scratch);
         }
         return hists;
     }
+    let distinct = &distinct;
+    let slots = &slots;
     let locals: Vec<Vec<Vec<u64>>> = (0..n_chunks)
         .into_par_iter()
         .map(|c| {
             let lo = c * chunk_rows;
             let hi = ((c + 1) * chunk_rows).min(rows);
             let mut scratch = CountScratch::default();
-            plans
-                .iter()
-                .map(|plan| {
-                    let mut hist = vec![0u64; plan.cells];
-                    count_range(plan, lo, hi, &mut hist, &mut scratch);
-                    hist
-                })
-                .collect()
+            let mut hists: Vec<Vec<u64>> = plans.iter().map(|p| vec![0u64; p.cells]).collect();
+            count_chunk(plans, distinct, slots, lo, hi, &mut hists, &mut scratch);
+            hists
         })
         .collect();
     // Merge partials in chunk order (order is irrelevant for u64 addition,
@@ -348,6 +596,211 @@ pub fn count_marginal_chunked(
         .pop()
         .expect("one histogram per plan");
     plan.into_marginal(hist)
+}
+
+/// The pre-packing counting kernel over plain `u32` columns, retained
+/// verbatim as the differential oracle for the packed kernels and as the
+/// baseline of the packed-vs-unpacked benchmark (`BENCH_dataset.json`).
+/// Same specialized loops, same lanes, same chunking and parallel merge —
+/// the only difference is the memory it streams.
+#[cfg(any(test, feature = "naive-reference"))]
+pub mod unpacked {
+    use super::*;
+    use crate::domain::Domain;
+
+    struct UnpackedPlan<'a> {
+        attrs: Vec<usize>,
+        shape: Vec<usize>,
+        strides: Vec<usize>,
+        cols: Vec<&'a [u32]>,
+        cells: usize,
+    }
+
+    fn build_plan<'a>(
+        domain: &Domain,
+        columns: &'a [Vec<u32>],
+        attrs: &[usize],
+        cell_limit: usize,
+    ) -> Result<UnpackedPlan<'a>> {
+        validate_attr_set(domain.len(), attrs)?;
+        let cells = domain.cells(attrs)?;
+        if cells > cell_limit as u128 {
+            return Err(DataError::MarginalTooLarge {
+                cells,
+                limit: cell_limit,
+            });
+        }
+        let shape: Vec<usize> = attrs
+            .iter()
+            .map(|&a| domain.cardinality(a))
+            .collect::<Result<_>>()?;
+        let cols: Vec<&[u32]> = attrs.iter().map(|&a| columns[a].as_slice()).collect();
+        Ok(UnpackedPlan {
+            attrs: attrs.to_vec(),
+            strides: strides_of(&shape),
+            shape,
+            cols,
+            cells: cells as usize,
+        })
+    }
+
+    /// Count rows `lo..hi` of one plan into `hist` (the original u32-slice
+    /// kernel body, unchanged).
+    fn count_range(
+        plan: &UnpackedPlan<'_>,
+        lo: usize,
+        hi: usize,
+        hist: &mut [u64],
+        scratch: &mut CountScratch,
+    ) {
+        let lanes = hist.len() <= LANE_CELL_LIMIT;
+        match plan.cols.as_slice() {
+            [col] => {
+                let col = &col[lo..hi];
+                if lanes {
+                    with_lanes(hist, &mut scratch.lanes, |h0, l1, l2, l3| {
+                        let mut quads = col.chunks_exact(4);
+                        for q in quads.by_ref() {
+                            h0[q[0] as usize] += 1;
+                            l1[q[1] as usize] += 1;
+                            l2[q[2] as usize] += 1;
+                            l3[q[3] as usize] += 1;
+                        }
+                        for &c in quads.remainder() {
+                            h0[c as usize] += 1;
+                        }
+                    });
+                } else {
+                    for &c in col {
+                        hist[c as usize] += 1;
+                    }
+                }
+            }
+            [ca, cb] => {
+                let stride = plan.strides[0];
+                let (ca, cb) = (&ca[lo..hi], &cb[lo..hi]);
+                if lanes {
+                    with_lanes(hist, &mut scratch.lanes, |h0, l1, l2, l3| {
+                        let mut qa = ca.chunks_exact(4);
+                        let mut qb = cb.chunks_exact(4);
+                        for (a, b) in qa.by_ref().zip(qb.by_ref()) {
+                            h0[a[0] as usize * stride + b[0] as usize] += 1;
+                            l1[a[1] as usize * stride + b[1] as usize] += 1;
+                            l2[a[2] as usize * stride + b[2] as usize] += 1;
+                            l3[a[3] as usize * stride + b[3] as usize] += 1;
+                        }
+                        for (&a, &b) in qa.remainder().iter().zip(qb.remainder()) {
+                            h0[a as usize * stride + b as usize] += 1;
+                        }
+                    });
+                } else {
+                    for (&a, &b) in ca.iter().zip(cb) {
+                        hist[a as usize * stride + b as usize] += 1;
+                    }
+                }
+            }
+            cols => {
+                let n = hi - lo;
+                let idx = &mut scratch.idx;
+                idx.clear();
+                idx.resize(n, 0);
+                for (col, &stride) in cols.iter().zip(&plan.strides) {
+                    for (i, &c) in idx.iter_mut().zip(&col[lo..hi]) {
+                        *i += c as usize * stride;
+                    }
+                }
+                let idx = &scratch.idx;
+                if lanes {
+                    with_lanes(hist, &mut scratch.lanes, |h0, l1, l2, l3| {
+                        let mut quads = idx.chunks_exact(4);
+                        for q in quads.by_ref() {
+                            h0[q[0]] += 1;
+                            l1[q[1]] += 1;
+                            l2[q[2]] += 1;
+                            l3[q[3]] += 1;
+                        }
+                        for &i in quads.remainder() {
+                            h0[i] += 1;
+                        }
+                    });
+                } else {
+                    for &i in idx {
+                        hist[i] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Count a batch of attribute sets over unpacked columns in one fused
+    /// chunked sweep (parallel by the same heuristics as the packed
+    /// engine), returning the marginals in request order.
+    ///
+    /// # Errors
+    /// Same validation contract as [`MarginalEngine::count_many`].
+    pub fn count_many_unpacked(
+        domain: &Domain,
+        columns: &[Vec<u32>],
+        sets: &[Vec<usize>],
+        cell_limit: usize,
+    ) -> Result<Vec<Marginal>> {
+        let plans: Vec<UnpackedPlan<'_>> = sets
+            .iter()
+            .map(|attrs| build_plan(domain, columns, attrs, cell_limit))
+            .collect::<Result<_>>()?;
+        let rows = columns.first().map_or(0, Vec::len);
+        let chunk_rows = production_chunk_rows(rows).max(1);
+        let n_chunks = rows.div_ceil(chunk_rows).max(1);
+        let hists: Vec<Vec<u64>> = if !should_parallelize(rows) || n_chunks <= 1 {
+            let mut hists: Vec<Vec<u64>> = plans.iter().map(|p| vec![0u64; p.cells]).collect();
+            let mut scratch = CountScratch::default();
+            for c in 0..n_chunks {
+                let lo = c * chunk_rows;
+                let hi = ((c + 1) * chunk_rows).min(rows);
+                for (plan, hist) in plans.iter().zip(&mut hists) {
+                    count_range(plan, lo, hi, hist, &mut scratch);
+                }
+            }
+            hists
+        } else {
+            let locals: Vec<Vec<Vec<u64>>> = (0..n_chunks)
+                .into_par_iter()
+                .map(|c| {
+                    let lo = c * chunk_rows;
+                    let hi = ((c + 1) * chunk_rows).min(rows);
+                    let mut scratch = CountScratch::default();
+                    plans
+                        .iter()
+                        .map(|plan| {
+                            let mut hist = vec![0u64; plan.cells];
+                            count_range(plan, lo, hi, &mut hist, &mut scratch);
+                            hist
+                        })
+                        .collect()
+                })
+                .collect();
+            let mut hists: Vec<Vec<u64>> = plans.iter().map(|p| vec![0u64; p.cells]).collect();
+            for local in locals {
+                for (hist, part) in hists.iter_mut().zip(local) {
+                    for (h, p) in hist.iter_mut().zip(part) {
+                        *h += p;
+                    }
+                }
+            }
+            hists
+        };
+        plans
+            .into_iter()
+            .zip(hists)
+            .map(|(plan, hist)| {
+                Marginal::from_counts(
+                    plan.attrs,
+                    plan.shape,
+                    hist.into_iter().map(|c| c as f64).collect(),
+                )
+            })
+            .collect()
+    }
 }
 
 /// Default soft bound on the total cells a [`MarginalCache`] retains
@@ -633,6 +1086,19 @@ mod tests {
     }
 
     #[test]
+    fn engine_matches_unpacked_kernel() {
+        let ds = toy(4099); // crosses a decode-block boundary
+        let columns = ds.to_columns();
+        let sets = vec![vec![0], vec![1], vec![0, 1], vec![2, 0], vec![0, 1, 2]];
+        let mut engine = MarginalEngine::new(&ds);
+        let packed = engine.count_many(&sets).unwrap();
+        let reference =
+            unpacked::count_many_unpacked(ds.domain(), &columns, &sets, DEFAULT_CELL_LIMIT)
+                .unwrap();
+        assert_eq!(packed, reference);
+    }
+
+    #[test]
     fn cache_serves_repeats_without_recounting() {
         let ds = toy(64);
         let mut engine = MarginalEngine::new(&ds);
@@ -715,5 +1181,22 @@ mod tests {
         let m = engine.count(&[0, 1]).unwrap();
         assert_eq!(m.total(), 0.0);
         assert_eq!(m.n_cells(), 6);
+    }
+
+    #[test]
+    fn constant_attribute_counts_by_range_addition() {
+        // A cardinality-1 attribute stores no words; the one-way kernel
+        // counts it with a single range-length addition and the wider
+        // kernels decode it to zeros.
+        let domain = Domain::new(vec![
+            Attribute::categorical_from("const", &["only"]),
+            Attribute::ordinal("y", 3),
+        ]);
+        let cols = vec![vec![0u32; 100], (0..100u32).map(|i| i % 3).collect()];
+        let ds = Dataset::new(domain, cols).unwrap();
+        let mut engine = MarginalEngine::new(&ds);
+        assert_eq!(engine.count(&[0]).unwrap().counts(), &[100.0]);
+        let joint = engine.count(&[0, 1]).unwrap();
+        assert_eq!(joint.counts(), &[34.0, 33.0, 33.0]);
     }
 }

@@ -252,8 +252,9 @@ mod tests {
     fn fruiht_mentor_type_consistent_with_mentor_flag() {
         let ds = fruiht2018(3_000, 13);
         for r in 0..ds.n_rows() {
-            let mentor = ds.value(r, 4).unwrap();
-            let mtype = ds.value(r, 5).unwrap();
+            let row = ds.row(r);
+            let mentor = row.get(4);
+            let mtype = row.get(5);
             assert_eq!(mtype == 0, mentor == 0);
         }
     }

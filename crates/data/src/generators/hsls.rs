@@ -268,10 +268,11 @@ mod tests {
     fn saw_derived_columns_are_consistent() {
         let ds = saw2018(5_000, 5);
         for r in 0..ds.n_rows() {
-            let asp9 = ds.value(r, 5).unwrap();
-            let asp11 = ds.value(r, 6).unwrap();
-            let persister = ds.value(r, 7).unwrap();
-            let emerger = ds.value(r, 8).unwrap();
+            let row = ds.row(r);
+            let asp9 = row.get(5);
+            let asp11 = row.get(6);
+            let persister = row.get(7);
+            let emerger = row.get(8);
             assert_eq!(persister, u32::from(asp9 == 1 && asp11 == 1));
             assert_eq!(emerger, u32::from(asp9 == 0 && asp11 == 1));
         }

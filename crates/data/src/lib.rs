@@ -5,7 +5,8 @@
 //!
 //! * [`Attribute`] / [`Domain`] — fully discretized schemas (the encoding all
 //!   marginal-based DP synthesizers consume);
-//! * [`Dataset`] — column-major code storage with selection, filtering and
+//! * [`Dataset`] — column-major, bit-packed code storage (see `packed`)
+//!   behind the [`ColumnAccess`] trait, with selection, filtering and
 //!   resampling;
 //! * [`Marginal`] — dense contingency tables with mixed-radix indexing, plus
 //!   empirical [`mutual_information`];
@@ -26,6 +27,7 @@ pub mod error;
 pub mod generators;
 pub mod marginal;
 pub mod metafeatures;
+pub mod packed;
 
 pub use attribute::{AttrKind, Attribute};
 pub use dataset::{Dataset, RowRef};
@@ -35,3 +37,4 @@ pub use error::{DataError, Result};
 pub use generators::BenchmarkDataset;
 pub use marginal::{mutual_information, Marginal, DEFAULT_CELL_LIMIT};
 pub use metafeatures::{meta_features, MeanStd, MetaFeatures};
+pub use packed::{ColumnAccess, PackedColumn};

@@ -80,10 +80,12 @@ impl Marginal {
         let strides = strides_of(&shape);
         let mut counts = vec![0.0; cells as usize];
 
-        // Hot loop: walk the columns once, accumulating mixed-radix indices.
-        let cols: Vec<&[u32]> = attrs
+        // Hot loop: walk the columns once, accumulating mixed-radix indices
+        // (decoded out of the packed store up front — the oracle's counting
+        // body is unchanged from the pre-packing layout).
+        let cols: Vec<Vec<u32>> = attrs
             .iter()
-            .map(|&a| dataset.column(a))
+            .map(|&a| dataset.decode_column(a))
             .collect::<Result<_>>()?;
         for r in 0..dataset.n_rows() {
             let mut idx = 0usize;

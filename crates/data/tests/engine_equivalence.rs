@@ -9,7 +9,7 @@
 
 use proptest::prelude::*;
 use rayon::ThreadPoolBuilder;
-use synrd_data::engine::count_marginal_chunked;
+use synrd_data::engine::{count_marginal_chunked, unpacked::count_many_unpacked};
 use synrd_data::{Attribute, Dataset, Domain, Marginal, MarginalEngine, DEFAULT_CELL_LIMIT};
 
 /// Strategy: a random domain (1–5 attributes, cardinalities 1–6 — including
@@ -45,6 +45,23 @@ fn all_subsets(d: usize) -> Vec<Vec<usize>> {
     (1u32..(1 << d))
         .map(|mask| (0..d).filter(|&a| mask & (1 << a) != 0).collect())
         .collect()
+}
+
+/// Strategy variant with cardinalities chosen to stress the bit-packing:
+/// constant columns (width 0), widths that divide 64 unevenly (3, 17 → 2
+/// and 5 bits), and power-of-two boundaries (16, 64). Fewer attributes so
+/// the full joint stays under the cell limit.
+fn wide_domain_and_rows() -> impl Strategy<Value = (Vec<usize>, Vec<Vec<u32>>)> {
+    const CARDS: [usize; 10] = [1, 2, 3, 4, 5, 6, 16, 17, 64, 65];
+    let card = (0usize..CARDS.len()).prop_map(|i| CARDS[i]);
+    proptest::collection::vec(card, 1..=3).prop_flat_map(|shape| {
+        let row = shape
+            .iter()
+            .map(|&card| 0u32..card as u32)
+            .collect::<Vec<_>>();
+        let rows = proptest::collection::vec(row, 0..=300);
+        (Just(shape), rows)
+    })
 }
 
 proptest! {
@@ -108,6 +125,22 @@ proptest! {
         let fast = joint.project(&keep).unwrap();
         let naive = joint.project_naive(&keep).unwrap();
         prop_assert!(fast == naive, "keep {:?}", keep);
+    }
+
+    /// The packed block-decode kernels == the retained `u32`-slice kernel
+    /// on the same fused batch: the only difference between the two paths
+    /// is the memory they stream, so the `u64` histograms must be equal —
+    /// and therefore the `f64` tables bit-identical.
+    #[test]
+    fn packed_kernel_matches_unpacked_kernel((shape, rows) in wide_domain_and_rows()) {
+        let ds = build_dataset(&shape, &rows);
+        let columns = ds.to_columns();
+        let sets = all_subsets(shape.len());
+        let mut engine = MarginalEngine::new(&ds);
+        let packed = engine.count_many(&sets).unwrap();
+        let unpacked =
+            count_many_unpacked(ds.domain(), &columns, &sets, DEFAULT_CELL_LIMIT).unwrap();
+        prop_assert_eq!(packed, unpacked);
     }
 
     /// The engine cache never changes answers: a second pass over the same

@@ -91,7 +91,7 @@ proptest! {
         let ds = build_dataset(&shape, &rows);
         let filtered = ds.filter_rows(|r| r.get(0) == 0);
         prop_assert!(filtered.n_rows() <= ds.n_rows());
-        let all_zero = filtered.column(0).unwrap().iter().all(|&c| c == 0);
+        let all_zero = filtered.decode_column(0).unwrap().iter().all(|&c| c == 0);
         prop_assert!(all_zero);
     }
 

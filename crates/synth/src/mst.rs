@@ -223,9 +223,9 @@ mod tests {
             .unwrap();
         let sample = synth.sample(6_000, 7).unwrap();
         let agree = |ds: &Dataset, x: usize, y: usize| {
-            let cx = ds.column(x).unwrap();
-            let cy = ds.column(y).unwrap();
-            cx.iter().zip(cy).filter(|(a, b)| a == b).count() as f64 / cx.len() as f64
+            let cx = ds.decode_column(x).unwrap();
+            let cy = ds.decode_column(y).unwrap();
+            cx.iter().zip(&cy).filter(|(a, b)| a == b).count() as f64 / cx.len() as f64
         };
         // Direct edges near 0.9 agreement; transitive pair near 0.82.
         assert!(agree(&sample, 0, 1) > 0.8, "ab = {}", agree(&sample, 0, 1));

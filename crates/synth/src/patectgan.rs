@@ -191,8 +191,9 @@ impl Synthesizer for PateCtgan {
                 for (t, w) in teacher_w.iter_mut().enumerate() {
                     let row_idx = perm[t * per_teacher + rng.gen_range(0..per_teacher)];
                     if onehot_cache[row_idx].is_none() {
+                        let row = data.row(row_idx);
                         for (a, c) in codes.iter_mut().enumerate() {
-                            *c = data.value(row_idx, a)?;
+                            *c = row.get(a);
                         }
                         let mut enc = vec![0.0f64; onehot_dim];
                         one_hot(&codes, &blocks, &mut enc);
