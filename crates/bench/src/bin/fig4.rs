@@ -14,12 +14,12 @@
 //! computes one deterministic slice of the cell list, and
 //! `--merge-shards` unions shard stores before aggregating.
 
-use synrd::benchmark::{run_grid, PaperReport};
+use synrd::benchmark::{run_grid_with_stores, PaperReport};
 use synrd::parity::aggregate;
 use synrd::report::render_fig4;
 use synrd_bench::{
-    assemble_from_shards, cli_from_args, print_store_summary, run_shard_mode,
-    selected_publications, with_cell_store,
+    assemble_from_shards, cli_from_args, print_fit_summary, print_store_summary, run_shard_mode,
+    selected_publications, with_cell_store, with_fit_store,
 };
 use synrd_store::JsonCodec;
 
@@ -33,19 +33,29 @@ fn main() {
     );
 
     if let Some(shard) = cli.store.shard {
-        let cache = run_shard_mode(&cli, &papers, shard);
+        let (cache, fit_cache) = run_shard_mode(&cli, &papers, shard);
         print_store_summary(&cache);
+        print_fit_summary(&fit_cache);
         return;
     }
 
     let mut reports: Vec<PaperReport> = Vec::new();
+    let fit_cache = if cli.store.merge_shards.is_empty() {
+        cli.store.open_fit_cache(config)
+    } else {
+        None // merged reports assemble from cells; no fitting at all
+    };
     let cache = if cli.store.merge_shards.is_empty() {
         let cache = cli.store.open_cache(config);
-        for (name, result) in match &cache {
+        let grid = |fits: Option<&dyn synrd::benchmark::FitStore>| match &cache {
             Some(c) => with_cell_store(c, cli.store.resume, |store| {
-                run_grid(&papers, config, Some(store))
+                run_grid_with_stores(&papers, config, Some(store), fits)
             }),
-            None => run_grid(&papers, config, None),
+            None => run_grid_with_stores(&papers, config, None, fits),
+        };
+        for (name, result) in match &fit_cache {
+            Some(f) => with_fit_store(f, cli.store.resume, |fits| grid(Some(fits))),
+            None => grid(None),
         } {
             match result {
                 Ok(report) => {
@@ -101,5 +111,8 @@ fn main() {
     }
     if let Some(cache) = &cache {
         print_store_summary(cache);
+    }
+    if let Some(fit_cache) = &fit_cache {
+        print_fit_summary(fit_cache);
     }
 }

@@ -17,10 +17,11 @@
 
 use std::path::PathBuf;
 use synrd::benchmark::{
-    assemble_report, run_grid_sharded, BenchmarkConfig, CellStore, PaperReport, Shard,
+    assemble_report, run_grid_sharded_with_stores, BenchmarkConfig, CellStore, FitStore,
+    PaperReport, Shard,
 };
 use synrd::Publication;
-use synrd_store::{merge_shard_dirs, DiskCellCache, WriteOnly};
+use synrd_store::{merge_shard_dirs, DiskCellCache, DiskFitCache, SessionFits, WriteOnly};
 
 /// Result-store flags shared by the grid binaries (`fig3`, `fig4`).
 #[derive(Debug, Default)]
@@ -48,6 +49,21 @@ impl StoreOptions {
             }
         }
     }
+
+    /// Open the fit cache sharing `--out-dir` with the cell store, exiting
+    /// with a message on I/O failure. Fits live under `fits/`, cells under
+    /// `cells/` — one directory serves both, and `synrd serve` later
+    /// answers sampling requests from the same tree.
+    pub fn open_fit_cache(&self, config: &BenchmarkConfig) -> Option<DiskFitCache> {
+        let dir = self.out_dir.as_ref()?;
+        match DiskFitCache::open(dir, config) {
+            Ok(cache) => Some(cache),
+            Err(e) => {
+                eprintln!("cannot open fit cache {}: {e}", dir.display());
+                std::process::exit(2);
+            }
+        }
+    }
 }
 
 /// Run `body` with the store viewed through `--resume` semantics: with the
@@ -62,6 +78,24 @@ pub fn with_cell_store<R>(
         body(cache)
     } else {
         body(&WriteOnly(cache))
+    }
+}
+
+/// The fit-cache twin of [`with_cell_store`]. `--resume` serves every
+/// stored fit; a fresh run distrusts prior on-disk state but still shares
+/// fits *within* the run (papers whose generators produce the same dataset
+/// fit each `(synthesizer, ε, seed)` once — the redundant-refit fix),
+/// repopulating the cache as it goes. Fits are keyed by dataset content,
+/// so loads are bit-identical to refitting either way.
+pub fn with_fit_store<R>(
+    cache: &DiskFitCache,
+    resume: bool,
+    body: impl FnOnce(&dyn FitStore) -> R,
+) -> R {
+    if resume {
+        body(cache)
+    } else {
+        body(&SessionFits::new(cache))
     }
 }
 
@@ -175,13 +209,19 @@ pub fn run_shard_mode(
     cli: &CliOptions,
     papers: &[Box<dyn Publication>],
     shard: Shard,
-) -> DiskCellCache {
+) -> (DiskCellCache, DiskFitCache) {
     let cache = cli
         .store
         .open_cache(&cli.config)
         .expect("--shard requires --out-dir");
+    let fit_cache = cli
+        .store
+        .open_fit_cache(&cli.config)
+        .expect("--shard requires --out-dir");
     match with_cell_store(&cache, cli.store.resume, |store| {
-        run_grid_sharded(papers, &cli.config, store, shard)
+        with_fit_store(&fit_cache, cli.store.resume, |fits| {
+            run_grid_sharded_with_stores(papers, &cli.config, store, Some(fits), shard)
+        })
     }) {
         Ok(s) => println!(
             "shard {}/{}: owned {} of {} cells ({} computed, {} already stored)",
@@ -197,7 +237,7 @@ pub fn run_shard_mode(
             std::process::exit(1);
         }
     }
-    cache
+    (cache, fit_cache)
 }
 
 /// `--merge-shards` mode, shared by the grid binaries: union the shard
@@ -225,6 +265,16 @@ pub fn assemble_from_shards(
             std::process::exit(1);
         }
     };
+    // Union the shards' fit caches too, so the merged store can feed
+    // `synrd serve` (report assembly itself never fits).
+    if let Some(fit_cache) = cli.store.open_fit_cache(&cli.config) {
+        for shard in &cli.store.merge_shards {
+            if let Err(e) = fit_cache.merge_from(shard) {
+                eprintln!("merging fits from {} failed: {e}", shard.display());
+                std::process::exit(1);
+            }
+        }
+    }
     let results = papers
         .iter()
         .map(|paper| {
@@ -254,6 +304,22 @@ pub fn print_store_summary(cache: &DiskCellCache) {
         stats.errors,
         synrd::benchmark::fits_performed(),
         synrd::benchmark::rows_sampled(),
+    );
+}
+
+/// One-line fit-cache telemetry, printed next to the `[store]` line. CI's
+/// end-to-end job greps `hits=` here to prove a warm rerun loaded every
+/// fit instead of recomputing it.
+pub fn print_fit_summary(cache: &DiskFitCache) {
+    let stats = cache.stats();
+    println!(
+        "[fits] dir={} fingerprint={} hits={} misses={} stores={} errors={}",
+        cache.root().display(),
+        synrd_store::hex16(cache.fingerprint()),
+        stats.hits,
+        stats.misses,
+        stats.stores,
+        stats.errors,
     );
 }
 

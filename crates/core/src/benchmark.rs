@@ -2,12 +2,17 @@
 //! evaluation loop of §4.2/§7, parallelized over (synthesizer, ε) cells
 //! with rayon.
 //!
-//! Every trial seed is a word of the cell's ChaCha8 keystream, keyed by
-//! `(master seed, paper, synthesizer, ε)` — see [`synrd_dp::grid_seed`] —
-//! so a cell's outcome is a pure function of its identity. The parallel
-//! grid is therefore byte-identical to the sequential one (asserted by
-//! `PaperReport::bitwise_eq` in the integration tests), and any sub-grid
-//! rerun reproduces the full run's numbers exactly.
+//! Every trial seed is a word of a ChaCha8 keystream — see
+//! [`synrd_dp::grid_seed`]. Fit seeds are keyed by
+//! `(master seed, dataset content digest, synthesizer, ε)`: a fitted model
+//! is a pure function of the data it saw, never of which paper asked, so
+//! papers sharing a dataset share fits (and the fit cache can serve one
+//! paper's fit to another bit-for-bit). Draw seeds stay keyed by
+//! `(master seed, paper, synthesizer, ε)`. Either way a cell's outcome is
+//! a pure function of its identity: the parallel grid is byte-identical to
+//! the sequential one (asserted by `PaperReport::bitwise_eq` in the
+//! integration tests), and any sub-grid rerun reproduces the full run's
+//! numbers exactly.
 
 use crate::error::{Result, SynrdError};
 use crate::finding::FindingType;
@@ -16,7 +21,7 @@ use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 use synrd_dp::grid_seed;
-use synrd_synth::{SynthError, SynthKind};
+use synrd_synth::{FittedState, SynthError, SynthKind, Synthesizer};
 
 /// Process-wide count of synthesizer fits performed by the grid driver.
 ///
@@ -248,6 +253,40 @@ pub trait CellStore: Sync {
     fn save(&self, paper_id: &str, kind: SynthKind, epsilon: f64, cell: &CellOutcome);
 }
 
+/// A persistent store of *fitted models*, consulted before every individual
+/// fit the way [`CellStore`] is consulted before every cell.
+///
+/// Fits are keyed by the **dataset content digest**
+/// ([`synrd_data::Dataset::content_digest`]), not by paper id: a fitted
+/// model is a pure function of `(data, privacy, fit seed)`, and fit seeds
+/// are themselves dataset-keyed, so two papers over the same generated
+/// dataset share every fit. Implementations key on everything else that
+/// determines the fit (the master seed) internally.
+///
+/// Both methods are best-effort: `load` returning `None` (including for
+/// corrupt or truncated entries) means "fit it", and `save` failures must
+/// not fail the run.
+pub trait FitStore: Sync {
+    /// A previously stored fit for this coordinate, if any.
+    fn load(
+        &self,
+        dataset_digest: u64,
+        kind: SynthKind,
+        epsilon: f64,
+        seed_index: usize,
+    ) -> Option<FittedState>;
+
+    /// Persist a freshly fitted model for this coordinate.
+    fn save(
+        &self,
+        dataset_digest: u64,
+        kind: SynthKind,
+        epsilon: f64,
+        seed_index: usize,
+        state: &FittedState,
+    );
+}
+
 /// One shard of a distributed grid run: this invocation owns every global
 /// cell index `g` with `g % count == index`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -307,6 +346,10 @@ struct PaperGround {
     findings: Vec<crate::finding::Finding>,
     real_stats: Vec<Vec<f64>>,
     n: usize,
+    /// Content digest of `real` — the fit-seed/fit-cache key component.
+    dataset_digest: u64,
+    /// The digest as the string keying the fit-seed keystream.
+    dataset_key: String,
 }
 
 /// Generate the real data and evaluate every finding on it.
@@ -329,11 +372,14 @@ fn ground_truth(paper: &dyn Publication, config: &BenchmarkConfig) -> Result<Pap
         }
         real_stats.push(stats);
     }
+    let dataset_digest = real.content_digest();
     Ok(PaperGround {
         real,
         findings,
         real_stats,
         n,
+        dataset_digest,
+        dataset_key: format!("ds-{dataset_digest:016x}"),
     })
 }
 
@@ -435,6 +481,22 @@ pub fn run_paper_with(
     config: &BenchmarkConfig,
     store: Option<&dyn CellStore>,
 ) -> Result<PaperReport> {
+    run_paper_with_stores(paper, config, store, None)
+}
+
+/// [`run_paper_with`] plus an optional [`FitStore`]: inside every cell that
+/// is not served whole from the cell store, each individual fit is looked
+/// up before fitting and written back after. Results are bit-identical
+/// with and without either store.
+///
+/// # Errors
+/// Same contract as [`run_paper`].
+pub fn run_paper_with_stores(
+    paper: &dyn Publication,
+    config: &BenchmarkConfig,
+    store: Option<&dyn CellStore>,
+    fits: Option<&dyn FitStore>,
+) -> Result<PaperReport> {
     let ground = ground_truth(paper, config)?;
 
     // Control row: nonparametric bootstrap of the real data through the
@@ -452,7 +514,7 @@ pub fn run_paper_with(
                 return hit;
             }
         }
-        let out = run_cell(paper_id, &ground, config, kind, epsilon);
+        let out = run_cell(paper_id, &ground, config, kind, epsilon, fits);
         if let Some(st) = store {
             st.save(paper_id, kind, epsilon, &out);
         }
@@ -470,9 +532,27 @@ pub fn run_grid(
     config: &BenchmarkConfig,
     store: Option<&dyn CellStore>,
 ) -> Vec<(&'static str, Result<PaperReport>)> {
+    run_grid_with_stores(papers, config, store, None)
+}
+
+/// [`run_grid`] plus an optional [`FitStore`] (see
+/// [`run_paper_with_stores`]). Because fits are keyed by dataset content,
+/// papers sharing a dataset in one sweep fit each
+/// `(synthesizer, ε, seed)` once and reuse it everywhere else.
+pub fn run_grid_with_stores(
+    papers: &[Box<dyn Publication>],
+    config: &BenchmarkConfig,
+    store: Option<&dyn CellStore>,
+    fits: Option<&dyn FitStore>,
+) -> Vec<(&'static str, Result<PaperReport>)> {
     papers
         .iter()
-        .map(|p| (p.name(), run_paper_with(p.as_ref(), config, store)))
+        .map(|p| {
+            (
+                p.name(),
+                run_paper_with_stores(p.as_ref(), config, store, fits),
+            )
+        })
         .collect()
 }
 
@@ -492,6 +572,21 @@ pub fn run_grid_sharded(
     papers: &[Box<dyn Publication>],
     config: &BenchmarkConfig,
     store: &dyn CellStore,
+    shard: Shard,
+) -> Result<ShardSummary> {
+    run_grid_sharded_with_stores(papers, config, store, None, shard)
+}
+
+/// [`run_grid_sharded`] plus an optional [`FitStore`] (see
+/// [`run_paper_with_stores`]).
+///
+/// # Errors
+/// Same contract as [`run_grid_sharded`].
+pub fn run_grid_sharded_with_stores(
+    papers: &[Box<dyn Publication>],
+    config: &BenchmarkConfig,
+    store: &dyn CellStore,
+    fits: Option<&dyn FitStore>,
     shard: Shard,
 ) -> Result<ShardSummary> {
     let per_paper = config.synthesizers.len() * config.epsilons.len();
@@ -525,7 +620,7 @@ pub fn run_grid_sharded(
         let cell = |&(s_idx, e_idx): &(usize, usize)| -> CellOutcome {
             let kind = config.synthesizers[s_idx];
             let epsilon = config.epsilons[e_idx];
-            let out = run_cell(paper_id, &ground, config, kind, epsilon);
+            let out = run_cell(paper_id, &ground, config, kind, epsilon, fits);
             store.save(paper_id, kind, epsilon, &out);
             out
         };
@@ -574,16 +669,23 @@ pub fn assemble_report(
 
 /// One (synthesizer, ε) cell: k fits × B draws.
 ///
-/// Trial seeds are words of the cell's `(master, paper, synth, ε)` ChaCha8
-/// keystream: words `0..k` seed the fits and word `k + seed_idx·B + b` seeds
-/// draw `b` of fit `seed_idx` — so fit seeds do not depend on `B`, and no
-/// seed is shared across cells.
+/// Fit `seed_idx` takes word `seed_idx` of the
+/// `(master, dataset digest, synth, ε)` keystream — dataset-keyed, so the
+/// fit (and the fit cache) is blind to which paper asked. Draw `b` of fit
+/// `seed_idx` takes word `k + seed_idx·B + b` of the
+/// `(master, paper, synth, ε)` keystream — so fit seeds do not depend on
+/// `B`, and no seed is shared across cells.
+///
+/// With a [`FitStore`], each fit is looked up before fitting (a hit skips
+/// the fit entirely and does not count in [`fits_performed`]) and written
+/// back after; outcomes are bit-identical either way.
 fn run_cell(
     paper_id: &str,
     ground: &PaperGround,
     config: &BenchmarkConfig,
     kind: SynthKind,
     epsilon: f64,
+    fits: Option<&dyn FitStore>,
 ) -> CellOutcome {
     let PaperGround {
         real,
@@ -601,32 +703,48 @@ fn run_cell(
     let mut first_fit_seconds = 0.0f64;
 
     for seed_idx in 0..config.seeds {
-        let mut synth = kind.build();
-        let fit_seed = grid_seed(
-            config.data_seed,
-            paper_id,
-            kind.name(),
-            epsilon,
-            seed_idx as u64,
-        );
         let started = Instant::now();
-        GRID_FITS.fetch_add(1, Ordering::Relaxed);
-        match synth.fit(real, privacy, fit_seed) {
-            Ok(()) => {}
-            Err(SynthError::Infeasible { reason }) => {
-                return CellOutcome::unavailable(
-                    CellStatus::Infeasible(reason),
-                    findings.len(),
-                    started.elapsed().as_secs_f64(),
+        // Fit-cache lookup first: a usable stored fit skips the fit (and
+        // the fit counter) entirely. A state that fails to restore is
+        // treated as a miss — the refit below overwrites it.
+        let restored: Option<Box<dyn Synthesizer>> = fits
+            .and_then(|fs| fs.load(ground.dataset_digest, kind, epsilon, seed_idx))
+            .and_then(|state| {
+                let mut synth = kind.build();
+                synth.restore_state(state).ok().map(|()| synth)
+            });
+        let freshly_fitted = restored.is_none();
+        let synth = match restored {
+            Some(synth) => synth,
+            None => {
+                let mut synth = kind.build();
+                let fit_seed = grid_seed(
+                    config.data_seed,
+                    &ground.dataset_key,
+                    kind.name(),
+                    epsilon,
+                    seed_idx as u64,
                 );
+                GRID_FITS.fetch_add(1, Ordering::Relaxed);
+                match synth.fit(real, privacy, fit_seed) {
+                    Ok(()) => {}
+                    Err(SynthError::Infeasible { reason }) => {
+                        return CellOutcome::unavailable(
+                            CellStatus::Infeasible(reason),
+                            findings.len(),
+                            started.elapsed().as_secs_f64(),
+                        );
+                    }
+                    Err(_) => {
+                        // Non-feasibility fit failure: count as zero parity
+                        // for this seed rather than crashing the grid.
+                        per_seed_parity.push(vec![0.0; findings.len()]);
+                        continue;
+                    }
+                }
+                synth
             }
-            Err(_) => {
-                // Non-feasibility fit failure: count as zero parity for this
-                // seed rather than crashing the grid.
-                per_seed_parity.push(vec![0.0; findings.len()]);
-                continue;
-            }
-        }
+        };
         let fit_seconds = started.elapsed().as_secs_f64();
         if seed_idx == 0 {
             first_fit_seconds = fit_seconds;
@@ -637,6 +755,16 @@ fn run_cell(
                         findings.len(),
                         fit_seconds,
                     );
+                }
+            }
+        }
+        // Persist only after the timeout verdict: a cell that times out is
+        // not cached (matching the cell cache's TimedOut rule), so its fit
+        // must not be served to future runs either.
+        if freshly_fitted {
+            if let Some(fs) = fits {
+                if let Some(state) = synth.fitted_state() {
+                    fs.save(ground.dataset_digest, kind, epsilon, seed_idx, &state);
                 }
             }
         }

@@ -95,9 +95,58 @@ impl Attribute {
         }
     }
 
+    /// Reassemble an attribute from its serialized parts — the inverse of
+    /// [`Attribute::categories`] / [`Attribute::numeric_values`], used by
+    /// the fit-cache codec to round-trip domains exactly.
+    ///
+    /// # Errors
+    /// [`DataError::CodeOutOfRange`] when `categories` is empty or
+    /// `numeric_values` does not align with the categories one-to-one.
+    pub fn from_parts(
+        name: impl Into<String>,
+        kind: AttrKind,
+        categories: Vec<String>,
+        numeric_values: Option<Vec<f64>>,
+    ) -> Result<Self> {
+        let name = name.into();
+        if categories.is_empty() {
+            return Err(DataError::CodeOutOfRange {
+                attribute: name,
+                code: 0,
+                cardinality: 0,
+            });
+        }
+        if let Some(values) = &numeric_values {
+            if values.len() != categories.len() {
+                return Err(DataError::CodeOutOfRange {
+                    attribute: name,
+                    code: values.len() as u32,
+                    cardinality: categories.len(),
+                });
+            }
+        }
+        Ok(Attribute {
+            name,
+            kind,
+            categories,
+            numeric_values,
+        })
+    }
+
     /// Attribute name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Category labels, code order.
+    pub fn categories(&self) -> &[String] {
+        &self.categories
+    }
+
+    /// Explicit per-code numeric scores, when set (see
+    /// [`Attribute::numeric`] for the interpretation of `None`).
+    pub fn numeric_values(&self) -> Option<&[f64]> {
+        self.numeric_values.as_deref()
     }
 
     /// Interpretation of the codes.

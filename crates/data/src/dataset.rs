@@ -8,7 +8,7 @@
 //! per-row readers use the [`RowRef`] cursor — so the physical layout can
 //! keep evolving (row groups, out-of-core) without touching consumers.
 
-use crate::attribute::Attribute;
+use crate::attribute::{AttrKind, Attribute};
 use crate::domain::{validate_attr_set, Domain};
 use crate::error::{DataError, Result};
 use crate::packed::{ColumnAccess, PackedColumn};
@@ -370,6 +370,60 @@ impl Dataset {
         Ok(out)
     }
 
+    /// 64-bit FNV-1a digest over the full content: schema (names, kinds,
+    /// labels, numeric scores bit-exactly) and every cell in column-major
+    /// order. Two datasets digest equal iff they would behave identically
+    /// under every fit — this is the dataset component of the fit-cache key,
+    /// which is how papers sharing a generator share fitted models.
+    pub fn content_digest(&self) -> u64 {
+        struct Fnv(u64);
+        impl Fnv {
+            fn bytes(&mut self, bs: &[u8]) {
+                for &b in bs {
+                    self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+                }
+            }
+            // Separator bytes keep adjacent fields from aliasing (the same
+            // convention as synrd-store's digest module).
+            fn word(&mut self, v: u64) {
+                self.bytes(&v.to_le_bytes());
+                self.bytes(&[0xff]);
+            }
+            fn text(&mut self, s: &str) {
+                self.bytes(s.as_bytes());
+                self.bytes(&[0xfe]);
+            }
+        }
+        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+        h.word(self.domain.len() as u64);
+        for attr in self.domain.attributes() {
+            h.text(attr.name());
+            h.word(match attr.kind() {
+                AttrKind::Categorical => 0,
+                AttrKind::Ordinal => 1,
+                AttrKind::Binary => 2,
+            });
+            h.word(attr.cardinality() as u64);
+            for label in attr.categories() {
+                h.text(label);
+            }
+            match attr.numeric_values() {
+                None => h.word(0),
+                Some(values) => {
+                    h.word(1);
+                    for v in values {
+                        h.word(v.to_bits());
+                    }
+                }
+            }
+        }
+        h.word(self.rows as u64);
+        for col in &self.columns {
+            col.for_each_code(|c| h.word(u64::from(c)));
+        }
+        h.0
+    }
+
     /// Extract an [`Attribute`] reference by name.
     pub fn attribute_by_name(&self, name: &str) -> Result<&Attribute> {
         let idx = self.domain.index_of(name)?;
@@ -458,6 +512,24 @@ mod tests {
         }
         assert!(ds.value(99, 0).is_err());
         assert!(ds.value(0, 99).is_err());
+    }
+
+    #[test]
+    fn content_digest_tracks_schema_and_cells() {
+        let ds = toy();
+        assert_eq!(ds.content_digest(), toy().content_digest());
+        // One flipped cell changes the digest.
+        let mut cols = ds.to_columns();
+        cols[0][0] = 1;
+        let changed = Dataset::new(ds.domain().clone(), cols).unwrap();
+        assert_ne!(ds.content_digest(), changed.content_digest());
+        // Same cells under a renamed schema changes the digest.
+        let renamed = Domain::new(vec![
+            Attribute::binary("exposed"),
+            Attribute::ordinal("score", 5),
+        ]);
+        let other = Dataset::new(renamed, ds.to_columns()).unwrap();
+        assert_ne!(ds.content_digest(), other.content_digest());
     }
 
     #[test]

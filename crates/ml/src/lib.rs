@@ -23,7 +23,7 @@ pub mod tree;
 pub use error::{MlError, Result};
 pub use forest::{ForestOptions, RandomForest};
 pub use metrics::{group_metrics, metrics, Metrics};
-pub use nn::{Activation, Mlp};
+pub use nn::{Activation, DenseState, Mlp, MlpState};
 pub use split::train_test_split;
 pub use svm::{LinearSvc, SvcOptions};
 pub use tree::{DecisionTree, TreeOptions};

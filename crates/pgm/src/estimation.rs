@@ -24,7 +24,9 @@ use crate::factor::{
 };
 use crate::inference::{calibrate_into, CalibratedTree};
 use crate::junction_tree::JunctionTree;
+use crate::sampling::TreeSampler;
 use crate::workspace::CalibrationWorkspace;
+use std::sync::OnceLock;
 
 /// One noisy marginal measurement.
 #[derive(Debug, Clone)]
@@ -59,16 +61,94 @@ impl Default for EstimationOptions {
 }
 
 /// A fitted graphical model: junction tree + calibrated beliefs + the
-/// estimated record count.
-#[derive(Debug, Clone)]
+/// estimated record count, plus the lazily built (and then cached) row
+/// sampler.
+#[derive(Debug)]
 pub struct FittedModel {
     tree: JunctionTree,
     calibrated: CalibratedTree,
     n_estimate: f64,
     final_loss: f64,
+    /// Flattened cumulative/guide/emit sampling tables, built on the first
+    /// `sampler()` call and reused across every bootstrap draw thereafter.
+    /// A pure function of `(tree, calibrated)`, so it is never serialized
+    /// and a clone restarts empty.
+    sampler: OnceLock<TreeSampler>,
+}
+
+impl Clone for FittedModel {
+    fn clone(&self) -> FittedModel {
+        FittedModel {
+            tree: self.tree.clone(),
+            calibrated: self.calibrated.clone(),
+            n_estimate: self.n_estimate,
+            final_loss: self.final_loss,
+            // Carry an already built sampler over (cheap relative to
+            // rebuilding); an unbuilt one stays unbuilt.
+            sampler: match self.sampler.get() {
+                Some(s) => OnceLock::from(s.clone()),
+                None => OnceLock::new(),
+            },
+        }
+    }
 }
 
 impl FittedModel {
+    /// Assemble a model from restored parts (the fit-cache deserialization
+    /// path). The calibrated beliefs must line up with the tree's cliques
+    /// one-to-one — a truncated or reordered belief list would otherwise
+    /// sample from the wrong tables.
+    ///
+    /// # Errors
+    /// [`PgmError::ShapeMismatch`] when the belief list does not match the
+    /// tree's cliques (count, scope, or shape).
+    pub fn from_parts(
+        tree: JunctionTree,
+        calibrated: CalibratedTree,
+        n_estimate: f64,
+        final_loss: f64,
+    ) -> Result<FittedModel> {
+        if calibrated.beliefs.len() != tree.cliques().len() {
+            return Err(PgmError::ShapeMismatch {
+                cells: tree.cliques().len(),
+                values: calibrated.beliefs.len(),
+            });
+        }
+        for (c, belief) in calibrated.beliefs.iter().enumerate() {
+            if belief.attrs() != tree.cliques()[c].as_slice()
+                || belief.shape() != tree.clique_shape(c)
+            {
+                return Err(PgmError::ShapeMismatch {
+                    cells: tree.clique_shape(c).iter().product(),
+                    values: belief.log_values().len(),
+                });
+            }
+        }
+        Ok(FittedModel {
+            tree,
+            calibrated,
+            n_estimate,
+            final_loss,
+            sampler: OnceLock::new(),
+        })
+    }
+
+    /// The cached row sampler, built on first use. Construction is a
+    /// deterministic function of the fitted model, so the cached sampler
+    /// produces bit-identical draws to a freshly built one — pinned by the
+    /// `sampler_cache` tests in `synrd-synth`.
+    ///
+    /// # Errors
+    /// Sampler construction errors (inconsistent beliefs) on the first call.
+    pub fn sampler(&self) -> Result<&TreeSampler> {
+        if let Some(s) = self.sampler.get() {
+            return Ok(s);
+        }
+        let built = TreeSampler::new(self)?;
+        // A racing builder may have won; `get_or_init` keeps exactly one.
+        Ok(self.sampler.get_or_init(|| built))
+    }
+
     /// The junction tree structure.
     pub fn tree(&self) -> &JunctionTree {
         &self.tree
@@ -359,6 +439,7 @@ pub fn estimate_with(
         calibrated: cal,
         n_estimate,
         final_loss,
+        sampler: OnceLock::new(),
     })
 }
 
@@ -500,6 +581,7 @@ pub fn estimate_naive(
         calibrated: cal,
         n_estimate,
         final_loss,
+        sampler: OnceLock::new(),
     })
 }
 

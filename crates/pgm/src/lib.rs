@@ -49,8 +49,8 @@ pub use inference::calibrate_naive;
 pub use inference::{calibrate, calibrate_into, CalibratedTree};
 pub use junction_tree::JunctionTree;
 pub use sampling::{
-    assemble_chunks, parallel_rows, record_sampling_pass, rows_sampled, sampling_passes,
-    search_cumulative, SamplingWorkspace, TreeSampler,
+    assemble_chunks, parallel_rows, record_sampling_pass, rows_sampled, samplers_built,
+    sampling_passes, search_cumulative, SamplingWorkspace, TreeSampler,
 };
 pub use spanning_tree::{maximum_spanning_tree, UnionFind};
 pub use workspace::CalibrationWorkspace;

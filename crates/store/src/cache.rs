@@ -37,7 +37,11 @@ use synrd_synth::SynthKind;
 
 /// Version tag mixed into every fingerprint; bump when cell semantics
 /// change so old stores invalidate wholesale.
-const FINGERPRINT_VERSION: u64 = 1;
+///
+/// v2: fit seeds became a function of the dataset content digest instead
+/// of the paper id (the shared-fit fix), which changes every cell's
+/// synthetic draws.
+const FINGERPRINT_VERSION: u64 = 2;
 
 /// Digest of every config knob that can change a cell's outcome.
 ///
@@ -305,7 +309,7 @@ pub fn merge_shard_dirs(
 
 /// Write `bytes` to `path` atomically-with-respect-to-readers: a unique
 /// temp file in the same directory, then `rename` into place.
-fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
     static COUNTER: AtomicU64 = AtomicU64::new(0);
     let n = COUNTER.fetch_add(1, Ordering::Relaxed);
     let mut tmp_name = path

@@ -19,6 +19,15 @@
 //!   writes back after; plus [`cache::merge_shard_dirs`] for recombining
 //!   sharded runs into stores that [`synrd::benchmark::assemble_report`]
 //!   can rebuild full reports from, bit-identical to a monolithic run.
+//! * [`fitted`] — [`codec::JsonCodec`] implementations for
+//!   [`synrd_synth::FittedState`] and its parts (junction-tree models,
+//!   PrivBayes networks, GEM logits, the PATECTGAN generator MLP).
+//! * [`fit_cache`] — [`fit_cache::DiskFitCache`], the fit-level sibling of
+//!   the cell cache: fitted states keyed by
+//!   `(master seed, dataset content digest, synthesizer, ε, trial seed)`,
+//!   implementing [`synrd::benchmark::FitStore`] so papers sharing a
+//!   dataset — or reruns whose cell keys changed but whose fits did not —
+//!   never refit what any earlier run already fitted.
 //!
 //! The intended flow for incremental / distributed evaluation:
 //!
@@ -31,6 +40,8 @@
 pub mod cache;
 pub mod codec;
 pub mod digest;
+pub mod fit_cache;
+pub mod fitted;
 pub mod intern;
 pub mod json;
 pub mod parse;
@@ -40,6 +51,7 @@ pub use cache::{
 };
 pub use codec::JsonCodec;
 pub use digest::{fnv1a64, hex16, Fnv1a};
+pub use fit_cache::{fit_digest, fit_fingerprint, DiskFitCache, SessionFits, WriteOnlyFits};
 pub use intern::intern;
 pub use json::JsonValue;
 pub use parse::parse;

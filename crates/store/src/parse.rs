@@ -109,7 +109,18 @@ impl<'a> Parser<'a> {
         }
         loop {
             self.skip_ws();
+            let key_offset = self.pos;
             let key = self.string()?;
+            // Duplicate keys would silently shadow earlier entries on
+            // lookup (`get` returns the first match, the writer never emits
+            // duplicates) — a hand-edited or merge-damaged store file must
+            // fail loudly instead of half-winning.
+            if pairs.iter().any(|(k, _)| *k == key) {
+                return Err(StoreError::Parse {
+                    offset: key_offset,
+                    message: format!("duplicate object key \"{key}\""),
+                });
+            }
             self.skip_ws();
             self.expect(b':')?;
             self.skip_ws();
@@ -362,6 +373,29 @@ mod tests {
             let err = parse(bad).expect_err(bad);
             assert!(matches!(err, StoreError::Parse { .. }), "{bad}: {err}");
         }
+    }
+
+    #[test]
+    fn duplicate_object_keys_are_rejected() {
+        for bad in [
+            "{\"a\":1,\"a\":2}",
+            "{\"a\":1,\"b\":{\"x\":null,\"x\":0}}",
+            "{\"\":0,\"\":1}",
+        ] {
+            let err = parse(bad).expect_err(bad);
+            match err {
+                StoreError::Parse { message, offset } => {
+                    assert!(message.contains("duplicate object key"), "{bad}: {message}");
+                    // The offset points at the repeated key, not the document
+                    // start.
+                    assert!(offset > 0, "{bad}");
+                }
+                other => panic!("{bad}: unexpected error {other}"),
+            }
+        }
+        // Same key at different nesting levels is fine.
+        assert!(parse("{\"a\":{\"a\":1}}").is_ok());
+        assert!(parse("[{\"a\":1},{\"a\":2}]").is_ok());
     }
 
     #[test]

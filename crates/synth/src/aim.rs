@@ -8,17 +8,20 @@
 //! Private-PGM model. Candidates that would blow up the junction tree are
 //! excluded, which is what limits AIM on wide-domain data.
 
-use crate::common::{check_domain_limit, dataset_from_columns, measure_gaussian, planned_sigma};
+use crate::common::{
+    check_domain_limit, dataset_from_columns, measure_gaussian, pgm_state, planned_sigma,
+    restore_pgm,
+};
 use crate::error::{Result, SynthError};
 use crate::scoring::{aim_candidate_score, map_scores, parallel_scoring};
 use crate::workload::{all_pairs_under, WorkloadQuery};
-use crate::Synthesizer;
+use crate::{FittedState, Synthesizer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use synrd_data::{Dataset, Domain, Marginal, MarginalEngine};
 use synrd_dp::{derive_seed, exponential_epsilon, exponential_mechanism, Accountant, Privacy};
 use synrd_pgm::{
-    estimate_with, CalibrationWorkspace, EstimationOptions, FittedModel, JunctionTree, TreeSampler,
+    estimate_with, CalibrationWorkspace, EstimationOptions, FittedModel, JunctionTree,
 };
 
 /// Configuration for [`Aim`].
@@ -230,9 +233,20 @@ impl Synthesizer for Aim {
 
     fn sample(&self, n: usize, seed: u64) -> Result<Dataset> {
         let (domain, model) = self.fitted.as_ref().ok_or(SynthError::NotFitted)?;
-        let sampler = TreeSampler::new(model)?;
+        // The flattened sampling tables are built once per fitted model and
+        // cached; every bootstrap draw after the first reuses them.
+        let sampler = model.sampler()?;
         let mut rng = StdRng::seed_from_u64(derive_seed(seed, "aim-sample"));
         let columns = sampler.sample_columns(n, &mut rng);
         dataset_from_columns(domain, columns)
+    }
+
+    fn fitted_state(&self) -> Option<FittedState> {
+        pgm_state(&self.fitted)
+    }
+
+    fn restore_state(&mut self, state: FittedState) -> Result<()> {
+        self.fitted = Some(restore_pgm("AIM", state)?);
+        Ok(())
     }
 }

@@ -1,10 +1,11 @@
 //! Shared helpers for the synthesizers.
 
-use crate::error::Result;
+use crate::error::{Result, SynthError};
+use crate::FittedState;
 use rand::rngs::StdRng;
 use synrd_data::{Dataset, Domain, MarginalEngine};
 use synrd_dp::{gaussian_mechanism, gaussian_sigma};
-use synrd_pgm::NoisyMeasurement;
+use synrd_pgm::{FittedModel, NoisyMeasurement};
 
 /// Count the marginal of `attrs` through the fit's [`MarginalEngine`] (a
 /// cache hit when a selection loop already scored the set), add ρ-zCDP
@@ -34,6 +35,37 @@ pub(crate) fn planned_sigma(rho: f64) -> f64 {
 /// Assemble a dataset from sampled columns over a cloned domain.
 pub(crate) fn dataset_from_columns(domain: &Domain, columns: Vec<Vec<u32>>) -> Result<Dataset> {
     Ok(Dataset::new(domain.clone(), columns)?)
+}
+
+/// Export helper shared by the three PGM-backed synthesizers.
+pub(crate) fn pgm_state(fitted: &Option<(Domain, FittedModel)>) -> Option<FittedState> {
+    fitted.as_ref().map(|(domain, model)| FittedState::Pgm {
+        domain: domain.clone(),
+        model: model.clone(),
+    })
+}
+
+/// Restore helper shared by the three PGM-backed synthesizers: accept only
+/// the [`FittedState::Pgm`] variant and require the model's junction tree
+/// to live over exactly the declared domain.
+pub(crate) fn restore_pgm(name: &'static str, state: FittedState) -> Result<(Domain, FittedModel)> {
+    match state {
+        FittedState::Pgm { domain, model } => {
+            if model.tree().domain_shape() != domain.shape().as_slice() {
+                return Err(SynthError::StateMismatch {
+                    reason: format!(
+                        "{name}: junction tree over shape {:?} does not match domain shape {:?}",
+                        model.tree().domain_shape(),
+                        domain.shape()
+                    ),
+                });
+            }
+            Ok((domain, model))
+        }
+        other => Err(SynthError::StateMismatch {
+            reason: format!("{name}: expected pgm state, got {}", other.variant()),
+        }),
+    }
 }
 
 /// Guard on the total domain size, modeling the scalability ceiling of the

@@ -14,6 +14,9 @@ pub enum SynthError {
     /// exceeded) — this models the paper's "unable to fit within 6 hours"
     /// crosshatch cells in Figure 3.
     Infeasible { reason: String },
+    /// A restored fitted state did not fit the synthesizer: wrong variant,
+    /// a domain/shape inconsistency, or an internally corrupt payload.
+    StateMismatch { reason: String },
     /// Underlying data error.
     Data(DataError),
     /// Underlying privacy-accounting error.
@@ -27,6 +30,9 @@ impl fmt::Display for SynthError {
         match self {
             SynthError::NotFitted => write!(f, "synthesizer not fitted"),
             SynthError::Infeasible { reason } => write!(f, "fit infeasible: {reason}"),
+            SynthError::StateMismatch { reason } => {
+                write!(f, "fitted state mismatch: {reason}")
+            }
             SynthError::Data(e) => write!(f, "data error: {e}"),
             SynthError::Dp(e) => write!(f, "dp error: {e}"),
             SynthError::Pgm(e) => write!(f, "pgm error: {e}"),

@@ -13,7 +13,7 @@
 use crate::common::{dataset_from_columns, measure_gaussian};
 use crate::error::{Result, SynthError};
 use crate::workload::all_pairs;
-use crate::Synthesizer;
+use crate::{FittedState, Synthesizer};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -44,6 +44,21 @@ impl Default for GemOptions {
             learning_rate: 0.08,
         }
     }
+}
+
+/// Serializable GEM generator state: the mixture logits plus the Adam
+/// moments, so a restored model resumes (or replays) exactly where the fit
+/// left off. Shapes are `[component][attribute][code]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GemState {
+    /// Mixture logits.
+    pub logits: Vec<Vec<Vec<f64>>>,
+    /// Adam first moments, same shape as `logits`.
+    pub m: Vec<Vec<Vec<f64>>>,
+    /// Adam second moments, same shape as `logits`.
+    pub v: Vec<Vec<Vec<f64>>>,
+    /// Adam step counter.
+    pub step: u64,
 }
 
 /// Mixture-of-products generator parameters.
@@ -83,6 +98,59 @@ impl GemModel {
     /// Per-component softmax probabilities for one attribute.
     fn probs(&self, k: usize, attr: usize) -> Vec<f64> {
         softmax(&self.logits[k][attr])
+    }
+
+    /// Export as plain serializable state.
+    fn to_state(&self) -> GemState {
+        GemState {
+            logits: self.logits.clone(),
+            m: self.m.clone(),
+            v: self.v.clone(),
+            step: self.step as u64,
+        }
+    }
+
+    /// Rebuild from exported state, validating that all three parameter
+    /// tensors share one shape and that shape matches `shape` (the domain's
+    /// per-attribute cardinalities).
+    fn from_state(state: GemState, shape: &[usize]) -> std::result::Result<GemModel, String> {
+        let k = state.logits.len();
+        if k == 0 {
+            return Err("empty mixture".to_string());
+        }
+        if state.m.len() != k || state.v.len() != k {
+            return Err(format!(
+                "moment tensors have {} / {} components, logits have {k}",
+                state.m.len(),
+                state.v.len()
+            ));
+        }
+        for comp in 0..k {
+            for tensor in [&state.logits[comp], &state.m[comp], &state.v[comp]] {
+                if tensor.len() != shape.len() {
+                    return Err(format!(
+                        "component {comp} covers {} attributes, domain has {}",
+                        tensor.len(),
+                        shape.len()
+                    ));
+                }
+                for (a, (per_code, &card)) in tensor.iter().zip(shape).enumerate() {
+                    if per_code.len() != card {
+                        return Err(format!(
+                            "component {comp} attribute {a} has {} codes, domain has {card}",
+                            per_code.len()
+                        ));
+                    }
+                }
+            }
+        }
+        let step = usize::try_from(state.step).map_err(|_| "step overflows usize".to_string())?;
+        Ok(GemModel {
+            logits: state.logits,
+            m: state.m,
+            v: state.v,
+            step,
+        })
     }
 
     /// Model marginal over 1 or 2 attributes (probability space).
@@ -285,6 +353,32 @@ impl Synthesizer for Gem {
             attrs.iter().map(build_column).collect()
         };
         dataset_from_columns(domain, columns)
+    }
+
+    fn fitted_state(&self) -> Option<FittedState> {
+        self.fitted
+            .as_ref()
+            .map(|(domain, model)| FittedState::Gem {
+                domain: domain.clone(),
+                model: model.to_state(),
+            })
+    }
+
+    fn restore_state(&mut self, state: FittedState) -> Result<()> {
+        match state {
+            FittedState::Gem { domain, model } => {
+                let model = GemModel::from_state(model, &domain.shape()).map_err(|reason| {
+                    SynthError::StateMismatch {
+                        reason: format!("GEM: {reason}"),
+                    }
+                })?;
+                self.fitted = Some((domain, model));
+                Ok(())
+            }
+            other => Err(SynthError::StateMismatch {
+                reason: format!("GEM: expected gem state, got {}", other.variant()),
+            }),
+        }
     }
 }
 

@@ -30,10 +30,10 @@ pub mod workload;
 
 pub use aim::{Aim, AimOptions};
 pub use error::{Result, SynthError};
-pub use gem::{Gem, GemOptions};
+pub use gem::{Gem, GemOptions, GemState};
 pub use mst::{Mst, MstOptions};
 pub use patectgan::{PateCtgan, PateCtganOptions};
-pub use privbayes::{PrivBayes, PrivBayesOptions};
+pub use privbayes::{BayesNode, PrivBayes, PrivBayesOptions};
 pub use privmrf::{PrivMrf, PrivMrfOptions};
 pub use scoring::{aim_candidate_score, map_scores, mst_edge_score};
 pub use workload::{all_pairs, all_pairs_under, WorkloadQuery};
@@ -42,11 +42,79 @@ pub use workload::{all_pairs, all_pairs_under, WorkloadQuery};
 // read them without a direct synrd-pgm dependency.
 pub use synrd_pgm::{rows_sampled, sampling_passes};
 
-use synrd_data::Dataset;
+use synrd_data::{Dataset, Domain};
 use synrd_dp::{delta_for_n, Privacy};
+use synrd_ml::MlpState;
+use synrd_pgm::FittedModel;
+
+/// A serializable snapshot of a fitted synthesizer — everything `sample`
+/// needs, as plain data, with none of the training-time machinery.
+///
+/// The fit cache persists these between runs and the serve mode answers
+/// sampling requests from them; round-tripping a state through
+/// [`Synthesizer::fitted_state`] / [`Synthesizer::restore_state`] must
+/// reproduce every subsequent draw bit-for-bit.
+#[derive(Debug, Clone)]
+pub enum FittedState {
+    /// The Private-PGM methods (AIM, MST, PrivMRF): a calibrated
+    /// junction-tree model over the fitted domain.
+    Pgm {
+        /// Domain the model was fitted on.
+        domain: Domain,
+        /// Calibrated junction-tree potentials and the private row count.
+        model: FittedModel,
+    },
+    /// PrivBayes: the ancestral network of noisy CPTs, in sampling order.
+    PrivBayes {
+        /// Domain the network was fitted on.
+        domain: Domain,
+        /// Network nodes in ancestral (topological) order.
+        nodes: Vec<BayesNode>,
+    },
+    /// GEM: mixture-of-products logits plus Adam moments.
+    Gem {
+        /// Domain the mixture was fitted on.
+        domain: Domain,
+        /// Generator parameters and optimizer state.
+        model: GemState,
+    },
+    /// PATECTGAN: the generator network and its one-hot output layout.
+    PateCtgan {
+        /// Domain the generator was fitted on.
+        domain: Domain,
+        /// Generator MLP weights and Adam moments.
+        generator: MlpState,
+        /// `(offset, cardinality)` of each attribute's softmax block.
+        blocks: Vec<(usize, usize)>,
+        /// Latent input dimension.
+        z_dim: usize,
+    },
+}
+
+impl FittedState {
+    /// The domain this state was fitted on.
+    pub fn domain(&self) -> &Domain {
+        match self {
+            FittedState::Pgm { domain, .. }
+            | FittedState::PrivBayes { domain, .. }
+            | FittedState::Gem { domain, .. }
+            | FittedState::PateCtgan { domain, .. } => domain,
+        }
+    }
+
+    /// Short variant tag (used in error messages and serialized keys).
+    pub fn variant(&self) -> &'static str {
+        match self {
+            FittedState::Pgm { .. } => "pgm",
+            FittedState::PrivBayes { .. } => "privbayes",
+            FittedState::Gem { .. } => "gem",
+            FittedState::PateCtgan { .. } => "patectgan",
+        }
+    }
+}
 
 /// A DP data synthesizer: fit a private model, then sample synthetic rows.
-pub trait Synthesizer: Send {
+pub trait Synthesizer: Send + Sync {
     /// Display name (as used in the paper's figures).
     fn name(&self) -> &'static str;
 
@@ -61,6 +129,30 @@ pub trait Synthesizer: Send {
     ///
     /// [`fit`]: Synthesizer::fit
     fn sample(&self, n: usize, seed: u64) -> Result<Dataset>;
+
+    /// Export the fitted model as plain serializable state. `None` when not
+    /// fitted, or when the implementation does not support state export.
+    fn fitted_state(&self) -> Option<FittedState> {
+        None
+    }
+
+    /// Replace any prior fit with a previously exported state, so that
+    /// subsequent [`sample`] calls replay exactly as on the fitting process.
+    ///
+    /// # Errors
+    /// [`SynthError::StateMismatch`] when `state` is another synthesizer's
+    /// variant or internally inconsistent.
+    ///
+    /// [`sample`]: Synthesizer::sample
+    fn restore_state(&mut self, state: FittedState) -> Result<()> {
+        Err(SynthError::StateMismatch {
+            reason: format!(
+                "{}: state restore unsupported (got {} state)",
+                self.name(),
+                state.variant()
+            ),
+        })
+    }
 }
 
 /// Identifier for the six synthesizers (Figure 3/4 row order).

@@ -11,18 +11,18 @@
 //! 3. measure the 2-way marginals on the selected tree edges, then fit a
 //!    Private-PGM model and sample.
 
-use crate::common::{check_domain_limit, dataset_from_columns, measure_gaussian};
+use crate::common::{
+    check_domain_limit, dataset_from_columns, measure_gaussian, pgm_state, restore_pgm,
+};
 use crate::error::{Result, SynthError};
 use crate::scoring::{map_scores, mst_edge_score, parallel_scoring};
 use crate::workload::all_pairs;
-use crate::Synthesizer;
+use crate::{FittedState, Synthesizer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use synrd_data::{Dataset, Domain, Marginal, MarginalEngine};
 use synrd_dp::{derive_seed, exponential_epsilon, exponential_mechanism, Accountant, Privacy};
-use synrd_pgm::{
-    estimate_with, CalibrationWorkspace, EstimationOptions, FittedModel, TreeSampler, UnionFind,
-};
+use synrd_pgm::{estimate_with, CalibrationWorkspace, EstimationOptions, FittedModel, UnionFind};
 
 /// Configuration for [`Mst`].
 #[derive(Debug, Clone, Copy)]
@@ -183,10 +183,20 @@ impl Synthesizer for Mst {
 
     fn sample(&self, n: usize, seed: u64) -> Result<Dataset> {
         let (domain, model) = self.fitted.as_ref().ok_or(SynthError::NotFitted)?;
-        let sampler = TreeSampler::new(model)?;
+        // Built once per fitted model, reused across bootstrap draws.
+        let sampler = model.sampler()?;
         let mut rng = StdRng::seed_from_u64(derive_seed(seed, "mst-sample"));
         let columns = sampler.sample_columns(n, &mut rng);
         dataset_from_columns(domain, columns)
+    }
+
+    fn fitted_state(&self) -> Option<FittedState> {
+        pgm_state(&self.fitted)
+    }
+
+    fn restore_state(&mut self, state: FittedState) -> Result<()> {
+        self.fitted = Some(restore_pgm("MST", state)?);
+        Ok(())
     }
 }
 

@@ -15,7 +15,7 @@
 
 use crate::common::{dataset_from_columns, measure_gaussian};
 use crate::error::{Result, SynthError};
-use crate::Synthesizer;
+use crate::{FittedState, Synthesizer};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -300,6 +300,69 @@ impl Synthesizer for PateCtgan {
         };
         let columns = assemble_chunks(n, d, parallel_rows(n), sample_chunk);
         dataset_from_columns(&fitted.domain, columns)
+    }
+
+    fn fitted_state(&self) -> Option<FittedState> {
+        self.fitted.as_ref().map(|f| FittedState::PateCtgan {
+            domain: f.domain.clone(),
+            generator: f.generator.export_state(),
+            blocks: f.blocks.clone(),
+            z_dim: f.z_dim,
+        })
+    }
+
+    fn restore_state(&mut self, state: FittedState) -> Result<()> {
+        let mismatch = |reason: String| SynthError::StateMismatch {
+            reason: format!("PATECTGAN: {reason}"),
+        };
+        match state {
+            FittedState::PateCtgan {
+                domain,
+                generator,
+                blocks,
+                z_dim,
+            } => {
+                // Blocks must tile the one-hot vector in domain order.
+                if blocks.len() != domain.len() {
+                    return Err(mismatch(format!(
+                        "{} blocks for {} attributes",
+                        blocks.len(),
+                        domain.len()
+                    )));
+                }
+                let mut expected_offset = 0usize;
+                for (a, &(offset, card)) in blocks.iter().enumerate() {
+                    let domain_card = domain.cardinality(a)?;
+                    if offset != expected_offset || card != domain_card {
+                        return Err(mismatch(format!(
+                            "block {a} is ({offset}, {card}), expected ({expected_offset}, {domain_card})"
+                        )));
+                    }
+                    expected_offset += card;
+                }
+                let onehot_dim = expected_offset;
+                let input = generator.layers.first().map(|l| l.input);
+                let output = generator.layers.last().map(|l| l.output);
+                if input != Some(z_dim) || output != Some(onehot_dim) {
+                    return Err(mismatch(format!(
+                        "generator maps {input:?} -> {output:?}, expected Some({z_dim}) -> Some({onehot_dim})"
+                    )));
+                }
+                let generator = Mlp::from_state(generator)
+                    .map_err(|e| mismatch(format!("generator state: {e}")))?;
+                self.fitted = Some(Fitted {
+                    domain,
+                    generator,
+                    blocks,
+                    z_dim,
+                });
+                Ok(())
+            }
+            other => Err(mismatch(format!(
+                "expected patectgan state, got {}",
+                other.variant()
+            ))),
+        }
     }
 }
 

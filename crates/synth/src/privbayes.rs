@@ -13,7 +13,7 @@
 use crate::common::{check_domain_limit, dataset_from_columns};
 use crate::error::{Result, SynthError};
 use crate::workload::all_pairs;
-use crate::Synthesizer;
+use crate::{FittedState, Synthesizer};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::RngCore;
@@ -44,20 +44,78 @@ impl Default for PrivBayesOptions {
 }
 
 /// One node of the learned network: attribute, parents, and its noisy CPT
-/// stored as a flat joint table over (parents..., attr).
-#[derive(Debug, Clone)]
-struct NetworkNode {
-    attr: usize,
-    parents: Vec<usize>,
+/// stored as a flat joint table over (parents..., attr). Public and plain
+/// so the fit cache can persist the whole network as-is.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BayesNode {
+    /// The attribute this node samples.
+    pub attr: usize,
+    /// Its parents (must already be sampled when this node draws).
+    pub parents: Vec<usize>,
     /// Noisy joint counts over sorted(parents ∪ {attr}).
-    table: Marginal,
+    pub table: Marginal,
+}
+
+/// Check that `nodes` is a well-formed ancestral network over `domain`:
+/// every attribute sampled exactly once, parents before children, and each
+/// CPT a joint table over exactly sorted(parents ∪ {attr}) with the
+/// domain's cardinalities.
+fn validate_network(domain: &Domain, nodes: &[BayesNode]) -> std::result::Result<(), String> {
+    let d = domain.len();
+    if nodes.len() != d {
+        return Err(format!("{} nodes for {d} attributes", nodes.len()));
+    }
+    let mut sampled = vec![false; d];
+    for (i, node) in nodes.iter().enumerate() {
+        if node.attr >= d {
+            return Err(format!(
+                "node {i} samples out-of-domain attribute {}",
+                node.attr
+            ));
+        }
+        if sampled[node.attr] {
+            return Err(format!("attribute {} sampled twice", node.attr));
+        }
+        for &p in &node.parents {
+            if p >= d {
+                return Err(format!("node {i} has out-of-domain parent {p}"));
+            }
+            if !sampled[p] {
+                return Err(format!("node {i} parent {p} not sampled before its child"));
+            }
+        }
+        let mut expected: Vec<usize> = node.parents.clone();
+        expected.push(node.attr);
+        expected.sort_unstable();
+        expected.dedup();
+        if expected.len() != node.parents.len() + 1 {
+            return Err(format!("node {i} lists its own attribute as a parent"));
+        }
+        if node.table.attrs() != expected.as_slice() {
+            return Err(format!(
+                "node {i} CPT covers {:?}, expected {:?}",
+                node.table.attrs(),
+                expected
+            ));
+        }
+        for (&a, &card) in node.table.attrs().iter().zip(node.table.shape()) {
+            let domain_card = domain.cardinality(a).map_err(|e| e.to_string())?;
+            if card != domain_card {
+                return Err(format!(
+                    "node {i} CPT gives attribute {a} cardinality {card}, domain has {domain_card}"
+                ));
+            }
+        }
+        sampled[node.attr] = true;
+    }
+    Ok(())
 }
 
 /// The PrivBayes synthesizer.
 #[derive(Debug, Clone, Default)]
 pub struct PrivBayes {
     options: PrivBayesOptions,
-    fitted: Option<(Domain, Vec<NetworkNode>)>,
+    fitted: Option<(Domain, Vec<BayesNode>)>,
 }
 
 impl PrivBayes {
@@ -132,7 +190,7 @@ impl Synthesizer for PrivBayes {
         // d-1 exponential-mechanism picks over (attr, parent-set) candidates.
         let eps_pick = eps_structure / d.saturating_sub(1).max(1) as f64;
         let mut order: Vec<usize> = Vec::with_capacity(d);
-        let mut nodes: Vec<NetworkNode> = Vec::with_capacity(d);
+        let mut nodes: Vec<BayesNode> = Vec::with_capacity(d);
         let first = rng.gen_range(0..d);
         order.push(first);
 
@@ -177,7 +235,7 @@ impl Synthesizer for PrivBayes {
             let sensitivity = n.max(2.0).ln() + 1.0;
             let chosen = exponential_mechanism(&cand_score, sensitivity, eps_pick, &mut rng)?;
             order.push(cand_attr[chosen]);
-            nodes.push(NetworkNode {
+            nodes.push(BayesNode {
                 attr: cand_attr[chosen],
                 parents: cand_parents[chosen].clone(),
                 table: Marginal::from_counts(vec![0], vec![1], vec![0.0])?, // placeholder
@@ -186,7 +244,7 @@ impl Synthesizer for PrivBayes {
         // Root node for the first attribute (no parents).
         nodes.insert(
             0,
-            NetworkNode {
+            BayesNode {
                 attr: first,
                 parents: Vec::new(),
                 table: Marginal::from_counts(vec![0], vec![1], vec![0.0])?,
@@ -251,6 +309,33 @@ impl Synthesizer for PrivBayes {
         let columns = assemble_chunks(n, d, parallel_rows(n), sample_chunk);
         dataset_from_columns(domain, columns)
     }
+
+    fn fitted_state(&self) -> Option<FittedState> {
+        self.fitted
+            .as_ref()
+            .map(|(domain, nodes)| FittedState::PrivBayes {
+                domain: domain.clone(),
+                nodes: nodes.clone(),
+            })
+    }
+
+    fn restore_state(&mut self, state: FittedState) -> Result<()> {
+        match state {
+            FittedState::PrivBayes { domain, nodes } => {
+                validate_network(&domain, &nodes).map_err(|reason| SynthError::StateMismatch {
+                    reason: format!("PrivBayes: {reason}"),
+                })?;
+                self.fitted = Some((domain, nodes));
+                Ok(())
+            }
+            other => Err(SynthError::StateMismatch {
+                reason: format!(
+                    "PrivBayes: expected privbayes state, got {}",
+                    other.variant()
+                ),
+            }),
+        }
+    }
 }
 
 /// Per-node conditional table over parent configurations: `weights` holds
@@ -268,7 +353,7 @@ struct CondTable {
 }
 
 impl CondTable {
-    fn build(node: &NetworkNode) -> CondTable {
+    fn build(node: &BayesNode) -> CondTable {
         let table = &node.table;
         let attrs = table.attrs();
         let shape = table.shape();

@@ -9,15 +9,17 @@
 //! under the cell limit — then measure everything with the Gaussian
 //! mechanism and fit Private-PGM.
 
-use crate::common::{check_domain_limit, dataset_from_columns, measure_gaussian};
+use crate::common::{
+    check_domain_limit, dataset_from_columns, measure_gaussian, pgm_state, restore_pgm,
+};
 use crate::error::{Result, SynthError};
-use crate::Synthesizer;
+use crate::{FittedState, Synthesizer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use synrd_data::{Dataset, Domain, MarginalEngine};
 use synrd_dp::{derive_seed, exponential_epsilon, exponential_mechanism, Accountant, Privacy};
 use synrd_pgm::{
-    estimate_with, CalibrationWorkspace, EstimationOptions, FittedModel, JunctionTree, TreeSampler,
+    estimate_with, CalibrationWorkspace, EstimationOptions, FittedModel, JunctionTree,
 };
 
 /// Configuration for [`PrivMrf`].
@@ -204,9 +206,19 @@ impl Synthesizer for PrivMrf {
 
     fn sample(&self, n: usize, seed: u64) -> Result<Dataset> {
         let (domain, model) = self.fitted.as_ref().ok_or(SynthError::NotFitted)?;
-        let sampler = TreeSampler::new(model)?;
+        // Built once per fitted model, reused across bootstrap draws.
+        let sampler = model.sampler()?;
         let mut rng = StdRng::seed_from_u64(derive_seed(seed, "privmrf-sample"));
         let columns = sampler.sample_columns(n, &mut rng);
         dataset_from_columns(domain, columns)
+    }
+
+    fn fitted_state(&self) -> Option<FittedState> {
+        pgm_state(&self.fitted)
+    }
+
+    fn restore_state(&mut self, state: FittedState) -> Result<()> {
+        self.fitted = Some(restore_pgm("PrivMRF", state)?);
+        Ok(())
     }
 }

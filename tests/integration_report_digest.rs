@@ -9,6 +9,10 @@
 //! bit-identical to the naive implementation over a full paper pipeline
 //! (data generation → DP measurement → mirror descent → sampling → parity).
 //!
+//! Regenerated once since: the fit-cache PR re-keyed fit seeds by dataset
+//! content digest instead of paper id (so papers sharing a dataset share
+//! fits), which intentionally changed every cell's draws.
+//!
 //! To regenerate after an *intentional* numeric or schema change:
 //!
 //! ```text
