@@ -1,7 +1,7 @@
 //! Records the kernel performance trajectory to `BENCH_pgm.json` (factor
 //! algebra), `BENCH_marginal.json` (marginal-counting engine),
-//! `BENCH_sampling.json` (row-generation engine) and `BENCH_dataset.json`
-//! (bit-packed columnar storage).
+//! `BENCH_sampling.json` (row-generation engine), `BENCH_dataset.json`
+//! (bit-packed columnar storage) and `BENCH_ml.json` (batched MLP kernels).
 //!
 //! Times a small fixed grid of calibration problems through both factor
 //! algebras — the stride kernels that power production and the retained
@@ -21,7 +21,7 @@
 //! ```text
 //! cargo run --release -p synrd-bench --bin perfgrid \
 //!     [--quick] [--out PATH] [--marginal-out PATH] [--sampling-out PATH] \
-//!     [--dataset-out PATH]
+//!     [--dataset-out PATH] [--ml-out PATH]
 //! ```
 //!
 //! `--quick` shrinks repetitions for CI smoke runs; the JSON schemas are
@@ -517,6 +517,117 @@ fn dataset_section(quick: bool, out_path: &str) -> (f64, f64) {
     (marginal_sweep_speedup, min_ratio)
 }
 
+/// The ML-kernel fifth of the perf record: one PATECTGAN-shaped training
+/// round (batched forward + one minibatch Adam step at batch 48) through
+/// the batched `BatchWorkspace` kernels vs the retained per-example oracle,
+/// with bit-identity asserted on every shape before timing. Writes
+/// `BENCH_ml.json`; returns the minimum generator-round speedup.
+fn ml_section(quick: bool, out_path: &str) -> f64 {
+    use synrd_ml::{Activation, BatchWorkspace, Mlp};
+
+    let batch = 48usize;
+    let reps = if quick { 51 } else { 201 };
+    let identity_rounds = 5usize;
+    // The two generator shapes bracket the one-hot widths the benchmark
+    // grid produces (saw2018-scale and a wide domain); the student shape is
+    // recorded as context and not gated.
+    let shapes: [(&str, Vec<usize>, Activation, bool); 3] = [
+        ("generator-o96", vec![16, 64, 96], Activation::Linear, true),
+        (
+            "generator-o320",
+            vec![16, 64, 320],
+            Activation::Linear,
+            true,
+        ),
+        ("student-o96", vec![96, 64, 1], Activation::Sigmoid, false),
+    ];
+    let mut bench_rows = Vec::new();
+    let mut gated_speedups = Vec::new();
+    for (name, sizes, act, gated) in shapes {
+        let mut rng = StdRng::seed_from_u64(33);
+        let net = Mlp::new(&sizes, act, &mut rng);
+        let n_in = batch * sizes[0];
+        let n_out = batch * sizes[sizes.len() - 1];
+        let xs: Vec<f64> = (0..n_in).map(|i| (i as f64 * 0.137).sin()).collect();
+        let grads: Vec<f64> = (0..n_out).map(|i| (i as f64 * 0.061).cos() * 0.1).collect();
+
+        // Bit-identity first: N batched rounds vs N per-example-oracle
+        // rounds from the same initial state must land on the same weights,
+        // Adam moments and step counter, bit for bit.
+        let mut batched = net.clone();
+        let mut naive = net.clone();
+        let mut ws = BatchWorkspace::new();
+        for _ in 0..identity_rounds {
+            batched.forward_batch(&xs, batch, &mut ws);
+            batched.backward_apply_batch(&mut ws, &grads);
+            let caches = naive.forward_batch_naive(&xs, batch);
+            naive.backward_apply_batch_naive(&caches, &grads);
+        }
+        assert_eq!(
+            batched.export_state(),
+            naive.export_state(),
+            "{name}: batched round != per-example oracle"
+        );
+
+        // Timings: one full round per rep, workspace already warm.
+        let mut engine_net = net.clone();
+        let engine_ns = median_ns(reps, || {
+            engine_net.forward_batch(&xs, batch, &mut ws);
+            engine_net.backward_apply_batch(&mut ws, &grads);
+            black_box(ws.output().len());
+        });
+        let mut naive_net = net;
+        let naive_ns = median_ns(reps, || {
+            let caches = naive_net.forward_batch_naive(&xs, batch);
+            naive_net.backward_apply_batch_naive(&caches, &grads);
+            black_box(caches.len());
+        });
+        let speedup = naive_ns / engine_ns;
+        if gated {
+            gated_speedups.push(speedup);
+        }
+        println!(
+            "ml         {:<14} batched {:>9.0} ns   naive {:>10.0} ns   speedup {:>5.2}x",
+            name, engine_ns, naive_ns, speedup
+        );
+        bench_rows.push(JsonValue::obj(vec![
+            ("name", JsonValue::Str(name.to_string())),
+            (
+                "layers",
+                JsonValue::Arr(sizes.iter().map(|&s| JsonValue::Uint(s as u64)).collect()),
+            ),
+            ("batch", JsonValue::Uint(batch as u64)),
+            ("engine_ns", JsonValue::Num(engine_ns)),
+            ("naive_ns", JsonValue::Num(naive_ns)),
+            ("speedup", JsonValue::Num(speedup)),
+            ("bit_identical", JsonValue::Bool(true)),
+            ("gated", JsonValue::Bool(gated)),
+        ]));
+    }
+    let min_speedup = gated_speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+    let geomean =
+        (gated_speedups.iter().map(|s| s.ln()).sum::<f64>() / gated_speedups.len() as f64).exp();
+    let doc = JsonValue::obj(vec![
+        ("schema", JsonValue::Str("synrd-bench-ml/1".to_string())),
+        (
+            "mode",
+            JsonValue::Str(if quick { "quick" } else { "full" }.to_string()),
+        ),
+        ("batch", JsonValue::Uint(batch as u64)),
+        ("benches", JsonValue::Arr(bench_rows)),
+        (
+            "summary",
+            JsonValue::obj(vec![
+                ("generator_round_speedup_min", JsonValue::Num(min_speedup)),
+                ("generator_round_speedup_geomean", JsonValue::Num(geomean)),
+            ]),
+        ),
+    ]);
+    std::fs::write(out_path, format!("{}\n", doc.to_text())).expect("write BENCH_ml.json");
+    println!("wrote {out_path} (min generator-round speedup {min_speedup:.2}x)");
+    min_speedup
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -544,6 +655,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_dataset.json".to_string());
+    let ml_out = args
+        .iter()
+        .position(|a| a == "--ml-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_ml.json".to_string());
     let reps = if quick { 7 } else { 31 };
 
     // --- Kernel grid: stride vs naive calibration -------------------------
@@ -682,6 +799,9 @@ fn main() {
     // --- Dataset storage: packed words vs u32 slices -----------------------
     let (dataset_min, compression_min) = dataset_section(quick, &dataset_out);
 
+    // --- ML kernels: batched MLP round vs the per-example oracle -----------
+    let ml_min = ml_section(quick, &ml_out);
+
     if min_speedup < 1.0 {
         eprintln!("warning: stride kernels slower than naive on some problem");
         std::process::exit(1);
@@ -725,6 +845,14 @@ fn main() {
     // dataset must pack at least 4x denser than 4-byte codes.
     if compression_min < 4.0 {
         eprintln!("warning: registry compression under the 4x gate ({compression_min:.2}x)");
+        std::process::exit(1);
+    }
+    // Batched ML kernels: the PATECTGAN generator round through the
+    // `BatchWorkspace` GEMM passes must beat the per-example oracle by 2x
+    // (1.4x in --quick mode for the usual CI-noise reason).
+    let ml_gate = if quick { 1.4 } else { 2.0 };
+    if ml_min < ml_gate {
+        eprintln!("warning: batched generator round under the {ml_gate:.1}x gate ({ml_min:.2}x)");
         std::process::exit(1);
     }
 }

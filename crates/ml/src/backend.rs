@@ -1,0 +1,167 @@
+//! Execution backends for the batched MLP kernels.
+//!
+//! [`Backend`] is the seam between the batched [`Mlp`](crate::Mlp) passes
+//! and the hardware that executes their GEMM-shaped inner loops. The
+//! synthesizer code only ever talks to `forward_batch` /
+//! `backward_apply_batch` / `input_gradient_batch`; those route every
+//! matrix-matrix product through a `Backend`, so a SIMD or GPU
+//! implementation can slot in without touching a single training loop.
+//! [`CpuBackend`] is the only implementation today.
+//!
+//! # Reduction-order contract
+//!
+//! Every implementation must produce **bit-identical** results to
+//! [`CpuBackend`]: each output cell sums its dot product in ascending index
+//! order starting from `0.0` (the bias, where present, is added last), and
+//! batch-gradient cells accumulate example-major (row `0` first). This is
+//! the same pinned-order discipline the stride factor kernels and the
+//! marginal engine follow, and it is what lets the differential proptests
+//! (`tests/batch_equivalence.rs`) hold for any backend.
+
+/// The GEMM-shaped primitives behind the batched MLP passes.
+///
+/// All matrices are row-major `f64` slices: activations are
+/// `[batch × dim]`, weights are `[output × input]` (one row per output
+/// neuron, matching [`Mlp`](crate::Mlp)'s storage).
+pub trait Backend {
+    /// Dense forward: `y[r][o] = (Σ_i w[o][i] · x[r][i]) + bias[o]`, with
+    /// the sum accumulated in ascending `i` and the bias added last —
+    /// bit-identical to the per-example forward pass.
+    #[allow(clippy::too_many_arguments)]
+    fn forward_gemm(
+        &self,
+        batch: usize,
+        input: usize,
+        output: usize,
+        w: &[f64],
+        bias: &[f64],
+        x: &[f64],
+        y: &mut [f64],
+    );
+
+    /// Gradient with respect to the layer input:
+    /// `dx[r][i] = Σ_o delta[r][o] · w[o][i]`, accumulated in ascending `o`
+    /// from `0.0` — the order the per-example backward pass uses.
+    fn input_grad_gemm(
+        &self,
+        batch: usize,
+        input: usize,
+        output: usize,
+        w: &[f64],
+        delta: &[f64],
+        dx: &mut [f64],
+    );
+
+    /// Batch gradients of the weights and biases, overwriting `gw`/`gb`:
+    /// `gw[o][i] = Σ_r delta[r][o] · x[r][i]` and `gb[o] = Σ_r delta[r][o]`,
+    /// both accumulated example-major (ascending `r`) from `0.0` — the order
+    /// a per-example gradient-accumulation loop produces.
+    #[allow(clippy::too_many_arguments)]
+    fn weight_grad_gemm(
+        &self,
+        batch: usize,
+        input: usize,
+        output: usize,
+        x: &[f64],
+        delta: &[f64],
+        gw: &mut [f64],
+        gb: &mut [f64],
+    );
+}
+
+/// Single-threaded CPU backend: straightforward register-blocked loops with
+/// the reduction orders of the per-example code, one matrix-matrix pass per
+/// layer. The reference every other backend must match bit-for-bit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CpuBackend;
+
+impl Backend for CpuBackend {
+    #[allow(clippy::too_many_arguments)]
+    fn forward_gemm(
+        &self,
+        batch: usize,
+        input: usize,
+        output: usize,
+        w: &[f64],
+        bias: &[f64],
+        x: &[f64],
+        y: &mut [f64],
+    ) {
+        debug_assert_eq!(w.len(), input * output);
+        debug_assert_eq!(bias.len(), output);
+        debug_assert_eq!(x.len(), batch * input);
+        debug_assert_eq!(y.len(), batch * output);
+        // Weight-row stationary: each output neuron's row stays hot while
+        // the batch streams past it.
+        for o in 0..output {
+            let row = &w[o * input..(o + 1) * input];
+            let b = bias[o];
+            for r in 0..batch {
+                let xr = &x[r * input..(r + 1) * input];
+                let mut acc = 0.0f64;
+                for (wv, xv) in row.iter().zip(xr) {
+                    acc += wv * xv;
+                }
+                y[r * output + o] = acc + b;
+            }
+        }
+    }
+
+    fn input_grad_gemm(
+        &self,
+        batch: usize,
+        input: usize,
+        output: usize,
+        w: &[f64],
+        delta: &[f64],
+        dx: &mut [f64],
+    ) {
+        debug_assert_eq!(w.len(), input * output);
+        debug_assert_eq!(delta.len(), batch * output);
+        debug_assert_eq!(dx.len(), batch * input);
+        for r in 0..batch {
+            let dxr = &mut dx[r * input..(r + 1) * input];
+            dxr.iter_mut().for_each(|v| *v = 0.0);
+            for o in 0..output {
+                let d = delta[r * output + o];
+                let row = &w[o * input..(o + 1) * input];
+                for (dst, wv) in dxr.iter_mut().zip(row) {
+                    *dst += d * wv;
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn weight_grad_gemm(
+        &self,
+        batch: usize,
+        input: usize,
+        output: usize,
+        x: &[f64],
+        delta: &[f64],
+        gw: &mut [f64],
+        gb: &mut [f64],
+    ) {
+        debug_assert_eq!(x.len(), batch * input);
+        debug_assert_eq!(delta.len(), batch * output);
+        debug_assert_eq!(gw.len(), input * output);
+        debug_assert_eq!(gb.len(), output);
+        // Gradient-row stationary; the inner accumulation stays ascending
+        // in `r` for every (o, i) cell, i.e. example-major.
+        for o in 0..output {
+            let grow = &mut gw[o * input..(o + 1) * input];
+            grow.iter_mut().for_each(|v| *v = 0.0);
+            let mut bacc = 0.0f64;
+            for r in 0..batch {
+                let d = delta[r * output + o];
+                let xr = &x[r * input..(r + 1) * input];
+                for (g, xv) in grow.iter_mut().zip(xr) {
+                    *g += d * xv;
+                }
+                bacc += d;
+            }
+            gb[o] = bacc;
+        }
+    }
+}

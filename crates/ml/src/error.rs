@@ -15,6 +15,8 @@ pub enum MlError {
     RaggedFeatures,
     /// A hyperparameter is out of range.
     InvalidParameter { name: &'static str, value: f64 },
+    /// A serialized network snapshot contains no layers.
+    EmptyNetwork,
 }
 
 impl fmt::Display for MlError {
@@ -31,6 +33,7 @@ impl fmt::Display for MlError {
             MlError::InvalidParameter { name, value } => {
                 write!(f, "invalid parameter {name} = {value}")
             }
+            MlError::EmptyNetwork => write!(f, "network snapshot has no layers"),
         }
     }
 }

@@ -12,6 +12,7 @@
 //!   substrate of the PATECTGAN synthesizer.
 
 #![allow(clippy::needless_range_loop)] // indexed loops are the clearer idiom in numeric kernels
+pub mod backend;
 pub mod error;
 pub mod forest;
 pub mod metrics;
@@ -20,10 +21,13 @@ pub mod split;
 pub mod svm;
 pub mod tree;
 
+pub use backend::{Backend, CpuBackend};
 pub use error::{MlError, Result};
 pub use forest::{ForestOptions, RandomForest};
 pub use metrics::{group_metrics, metrics, Metrics};
-pub use nn::{Activation, DenseState, Mlp, MlpState};
+#[cfg(any(test, feature = "naive-reference"))]
+pub use nn::ForwardCache;
+pub use nn::{Activation, BatchWorkspace, DenseState, Mlp, MlpState};
 pub use split::train_test_split;
 pub use svm::{LinearSvc, SvcOptions};
 pub use tree::{DecisionTree, TreeOptions};

@@ -2,9 +2,29 @@
 //!
 //! This is the neural substrate for the PATECTGAN synthesizer (generator and
 //! student discriminator). It supports ReLU hidden layers, configurable
-//! output activation, and mini-batch training against either squared error
+//! output activation, and minibatch training against either squared error
 //! or binary cross-entropy.
+//!
+//! # Batched kernels
+//!
+//! The hot paths are the batched passes — [`Mlp::forward_batch`],
+//! [`Mlp::backward_apply_batch`], [`Mlp::input_gradient_batch`] — which
+//! execute one matrix-matrix pass per layer over row-major `[batch × dim]`
+//! activation arenas held in a reusable [`BatchWorkspace`] (zero-alloc after
+//! warm-up) and route every GEMM through a [`Backend`] so SIMD/GPU
+//! implementations can slot in without touching synthesizer code.
+//!
+//! The reduction order is pinned: each output cell sums its dot product in
+//! ascending index order, and batch gradients accumulate example-major. A
+//! batched pass is therefore **bit-identical** to the per-example
+//! formulation of the same minibatch step — forward/input-gradient per row,
+//! gradients accumulated across rows in row order, one Adam update — which
+//! is retained behind the `naive-reference` feature (and `cfg(test)`) as
+//! the differential oracle (`forward_batch_naive` & co). Note the minibatch
+//! semantics: `backward_apply_batch` takes **one** Adam step from the summed
+//! batch gradient; it is not a loop of sequential per-example Adam steps.
 
+use crate::backend::{Backend, CpuBackend};
 use crate::error::{MlError, Result};
 use rand::Rng;
 
@@ -53,6 +73,7 @@ impl Dense {
         }
     }
 
+    #[cfg(any(test, feature = "naive-reference"))]
     fn forward(&self, x: &[f64], out: &mut Vec<f64>) {
         out.clear();
         for o in 0..self.output {
@@ -110,7 +131,9 @@ pub struct MlpState {
     pub learning_rate: f64,
 }
 
-/// Per-example caches captured on the forward pass for backprop.
+/// Per-example caches captured on the forward pass for backprop — the
+/// retained per-example path, used only by the differential oracle.
+#[cfg(any(test, feature = "naive-reference"))]
 pub struct ForwardCache {
     /// Pre-activation values per layer.
     pre: Vec<Vec<f64>>,
@@ -118,10 +141,99 @@ pub struct ForwardCache {
     post: Vec<Vec<f64>>,
 }
 
+#[cfg(any(test, feature = "naive-reference"))]
 impl ForwardCache {
     /// The network output recorded by this forward pass.
     pub fn output(&self) -> &[f64] {
         self.post.last().expect("forward pass recorded layers")
+    }
+}
+
+/// Reusable arenas for the batched passes: row-major `[batch × dim]`
+/// activation blocks per layer plus delta and gradient scratch, all
+/// recycled across calls so the training hot loop is zero-alloc after the
+/// first round. A workspace holds the forward caches
+/// [`Mlp::backward_apply_batch`] and [`Mlp::input_gradient_batch`] consume,
+/// so each network being trained needs its own workspace.
+#[derive(Debug, Default)]
+pub struct BatchWorkspace {
+    batch: usize,
+    /// Post-activation arenas: `post[0]` is the input block
+    /// `[batch × input]`, `post[l + 1]` holds layer `l`'s activations.
+    post: Vec<Vec<f64>>,
+    /// Pre-activation arenas, one per layer (for the ReLU backward mask).
+    pre: Vec<Vec<f64>>,
+    /// Delta arena for the layer currently being backpropagated.
+    delta: Vec<f64>,
+    /// Delta arena for the next-lower layer (swap partner).
+    delta_prev: Vec<f64>,
+    /// Weight-gradient accumulator, sized to the largest layer.
+    gw: Vec<f64>,
+    /// Bias-gradient accumulator, sized to the widest layer.
+    gb: Vec<f64>,
+}
+
+impl BatchWorkspace {
+    /// Fresh, empty workspace; arenas are sized lazily on first use.
+    pub fn new() -> BatchWorkspace {
+        BatchWorkspace::default()
+    }
+
+    /// The rows recorded by the last [`Mlp::forward_batch`] call.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// The `[batch × output]` block produced by the last
+    /// [`Mlp::forward_batch`] call.
+    pub fn output(&self) -> &[f64] {
+        self.post.last().map_or(&[], Vec::as_slice)
+    }
+
+    /// Size every arena for `net` at `batch` rows. `Vec::resize` only
+    /// reallocates on growth, so repeated rounds at a fixed shape reuse the
+    /// same buffers.
+    fn ensure(&mut self, net: &Mlp, batch: usize) {
+        self.batch = batch;
+        let layers = net.layers.len();
+        self.post.resize_with(layers + 1, Vec::new);
+        self.pre.resize_with(layers, Vec::new);
+        self.post[0].resize(batch * net.input_size(), 0.0);
+        let mut max_dim = net.input_size();
+        for (li, layer) in net.layers.iter().enumerate() {
+            self.pre[li].resize(batch * layer.output, 0.0);
+            self.post[li + 1].resize(batch * layer.output, 0.0);
+            max_dim = max_dim.max(layer.output);
+        }
+        let max_w = net
+            .layers
+            .iter()
+            .map(|l| l.input * l.output)
+            .max()
+            .unwrap_or(0);
+        self.delta.resize(batch * max_dim, 0.0);
+        self.delta_prev.resize(batch * max_dim, 0.0);
+        self.gw.resize(max_w, 0.0);
+        self.gb.resize(max_dim, 0.0);
+    }
+}
+
+/// Chain an output-space gradient through the output activation:
+/// `delta[c] = g(dl_dout[c], y[c])`, per-cell identical to the per-example
+/// backward pass.
+fn output_delta(activation: Activation, y: &[f64], dl_dout: &[f64], delta: &mut [f64]) {
+    match activation {
+        Activation::Linear => delta.copy_from_slice(dl_dout),
+        Activation::Sigmoid => {
+            for ((d, &y), &g) in delta.iter_mut().zip(y).zip(dl_dout) {
+                *d = g * y * (1.0 - y);
+            }
+        }
+        Activation::Tanh => {
+            for ((d, &y), &g) in delta.iter_mut().zip(y).zip(dl_dout) {
+                *d = g * (1.0 - y * y);
+            }
+        }
     }
 }
 
@@ -155,159 +267,218 @@ impl Mlp {
         self.layers.last().map_or(0, |l| l.output)
     }
 
-    /// Forward pass, returning activations and caches.
-    pub fn forward(&self, x: &[f64]) -> ForwardCache {
-        debug_assert_eq!(x.len(), self.input_size());
-        let mut post = vec![x.to_vec()];
-        let mut pre = Vec::with_capacity(self.layers.len());
-        let mut buffer = Vec::new();
+    /// Batched forward pass over `batch` row-major examples (`xs` is
+    /// `[batch × input]`), leaving activations in `ws` (read the output via
+    /// [`BatchWorkspace::output`]). One GEMM per layer on the default
+    /// [`CpuBackend`]; bit-identical to a per-example loop.
+    pub fn forward_batch(&self, xs: &[f64], batch: usize, ws: &mut BatchWorkspace) {
+        self.forward_batch_with(&CpuBackend, xs, batch, ws);
+    }
+
+    /// [`Mlp::forward_batch`] on an explicit [`Backend`].
+    pub fn forward_batch_with<B: Backend>(
+        &self,
+        backend: &B,
+        xs: &[f64],
+        batch: usize,
+        ws: &mut BatchWorkspace,
+    ) {
+        debug_assert_eq!(xs.len(), batch * self.input_size());
+        ws.ensure(self, batch);
+        ws.post[0].copy_from_slice(xs);
         for (li, layer) in self.layers.iter().enumerate() {
-            layer.forward(post.last().expect("non-empty"), &mut buffer);
-            pre.push(buffer.clone());
+            backend.forward_gemm(
+                batch,
+                layer.input,
+                layer.output,
+                &layer.w,
+                &layer.b,
+                &ws.post[li],
+                &mut ws.pre[li],
+            );
             let last = li + 1 == self.layers.len();
-            let activated: Vec<f64> = if last {
+            let pre = &ws.pre[li];
+            let post = &mut ws.post[li + 1];
+            if last {
                 match self.output_activation {
-                    Activation::Linear => buffer.clone(),
+                    Activation::Linear => post.copy_from_slice(pre),
                     Activation::Sigmoid => {
-                        buffer.iter().map(|v| 1.0 / (1.0 + (-v).exp())).collect()
+                        for (y, v) in post.iter_mut().zip(pre) {
+                            *y = 1.0 / (1.0 + (-v).exp());
+                        }
                     }
-                    Activation::Tanh => buffer.iter().map(|v| v.tanh()).collect(),
+                    Activation::Tanh => {
+                        for (y, v) in post.iter_mut().zip(pre) {
+                            *y = v.tanh();
+                        }
+                    }
                 }
             } else {
-                buffer.iter().map(|v| v.max(0.0)).collect() // ReLU
-            };
-            post.push(activated);
-        }
-        ForwardCache { pre, post }
-    }
-
-    /// Output of the forward pass.
-    pub fn predict(&self, x: &[f64]) -> Vec<f64> {
-        self.forward(x).post.last().expect("non-empty").clone()
-    }
-
-    /// Backpropagate from an output-space gradient `dl_dout` (∂loss/∂output,
-    /// *after* the output activation) and apply one Adam step.
-    pub fn backward_apply(&mut self, cache: &ForwardCache, dl_dout: &[f64]) {
-        self.step += 1;
-        let t = self.step as f64;
-        let (b1, b2, eps) = (0.9, 0.999, 1e-8);
-        let lr = self.learning_rate;
-
-        // Delta at the output layer (chain through the output activation).
-        let last = self.layers.len() - 1;
-        let mut delta: Vec<f64> = match self.output_activation {
-            Activation::Linear => dl_dout.to_vec(),
-            Activation::Sigmoid => cache.post[last + 1]
-                .iter()
-                .zip(dl_dout)
-                .map(|(&y, &g)| g * y * (1.0 - y))
-                .collect(),
-            Activation::Tanh => cache.post[last + 1]
-                .iter()
-                .zip(dl_dout)
-                .map(|(&y, &g)| g * (1.0 - y * y))
-                .collect(),
-        };
-
-        for li in (0..self.layers.len()).rev() {
-            // Gradient wrt inputs of this layer (before overwriting weights).
-            let layer = &self.layers[li];
-            let mut dl_dx = vec![0.0f64; layer.input];
-            for o in 0..layer.output {
-                let row = &layer.w[o * layer.input..(o + 1) * layer.input];
-                for (dx, &w) in dl_dx.iter_mut().zip(row) {
-                    *dx += delta[o] * w;
+                for (y, v) in post.iter_mut().zip(pre) {
+                    *y = v.max(0.0); // ReLU
                 }
             }
-            // Adam update of weights and biases.
-            let input_act = &cache.post[li];
+        }
+    }
+
+    /// One minibatch Adam step from an output-space gradient block
+    /// (`dl_dout` is `[batch × output]`, ∂loss/∂output *after* the output
+    /// activation) against the forward pass recorded in `ws`: per-example
+    /// deltas are chained layer by layer, weight/bias gradients are
+    /// accumulated example-major across the batch, and a **single** Adam
+    /// update is applied. An empty batch is a no-op (no step). Bit-identical
+    /// to the per-example accumulation oracle (`backward_apply_batch_naive`).
+    pub fn backward_apply_batch(&mut self, ws: &mut BatchWorkspace, dl_dout: &[f64]) {
+        self.backward_apply_batch_with(&CpuBackend, ws, dl_dout);
+    }
+
+    /// [`Mlp::backward_apply_batch`] on an explicit [`Backend`].
+    pub fn backward_apply_batch_with<B: Backend>(
+        &mut self,
+        backend: &B,
+        ws: &mut BatchWorkspace,
+        dl_dout: &[f64],
+    ) {
+        let batch = ws.batch;
+        debug_assert_eq!(dl_dout.len(), batch * self.output_size());
+        if batch == 0 || self.layers.is_empty() {
+            return;
+        }
+        self.step += 1;
+        let t = self.step as f64;
+        let (b1, b2, eps) = (0.9f64, 0.999f64, 1e-8f64);
+        // Bias-correction scalars hoisted to once per step: `powf` is
+        // deterministic, so this is bit-identical to recomputing them per
+        // parameter.
+        let bc1 = 1.0 - b1.powf(t);
+        let bc2 = 1.0 - b2.powf(t);
+        let lr = self.learning_rate;
+
+        let last = self.layers.len() - 1;
+        let n_last = batch * self.layers[last].output;
+        output_delta(
+            self.output_activation,
+            &ws.post[last + 1],
+            dl_dout,
+            &mut ws.delta[..n_last],
+        );
+
+        for li in (0..self.layers.len()).rev() {
+            let layer = &self.layers[li];
+            let (n_in, n_out) = (batch * layer.input, batch * layer.output);
+            let wlen = layer.input * layer.output;
+            // Gradient wrt this layer's inputs (for the layer below), from
+            // the pre-update weights.
+            if li > 0 {
+                backend.input_grad_gemm(
+                    batch,
+                    layer.input,
+                    layer.output,
+                    &layer.w,
+                    &ws.delta[..n_out],
+                    &mut ws.delta_prev[..n_in],
+                );
+            }
+            // Example-major batch gradients, then one Adam update.
+            backend.weight_grad_gemm(
+                batch,
+                layer.input,
+                layer.output,
+                &ws.post[li],
+                &ws.delta[..n_out],
+                &mut ws.gw[..wlen],
+                &mut ws.gb[..layer.output],
+            );
             let layer = &mut self.layers[li];
+            for idx in 0..wlen {
+                let g = ws.gw[idx];
+                let m = &mut layer.mw[idx];
+                let v = &mut layer.vw[idx];
+                *m = b1 * *m + (1.0 - b1) * g;
+                *v = b2 * *v + (1.0 - b2) * g * g;
+                let mhat = *m / bc1;
+                let vhat = *v / bc2;
+                layer.w[idx] -= lr * mhat / (vhat.sqrt() + eps);
+            }
             for o in 0..layer.output {
-                let base = o * layer.input;
-                for i in 0..layer.input {
-                    let g = delta[o] * input_act[i];
-                    let m = &mut layer.mw[base + i];
-                    let v = &mut layer.vw[base + i];
-                    *m = b1 * *m + (1.0 - b1) * g;
-                    *v = b2 * *v + (1.0 - b2) * g * g;
-                    let mhat = *m / (1.0 - b1.powf(t));
-                    let vhat = *v / (1.0 - b2.powf(t));
-                    layer.w[base + i] -= lr * mhat / (vhat.sqrt() + eps);
-                }
-                let g = delta[o];
+                let g = ws.gb[o];
                 let m = &mut layer.mb[o];
                 let v = &mut layer.vb[o];
                 *m = b1 * *m + (1.0 - b1) * g;
                 *v = b2 * *v + (1.0 - b2) * g * g;
-                let mhat = *m / (1.0 - b1.powf(t));
-                let vhat = *v / (1.0 - b2.powf(t));
+                let mhat = *m / bc1;
+                let vhat = *v / bc2;
                 layer.b[o] -= lr * mhat / (vhat.sqrt() + eps);
             }
             if li > 0 {
-                // Chain through the ReLU of the previous hidden layer.
-                delta = dl_dx
-                    .iter()
-                    .zip(&cache.pre[li - 1])
-                    .map(|(&g, &p)| if p > 0.0 { g } else { 0.0 })
-                    .collect();
+                // Chain through the ReLU of the hidden layer below.
+                let pre = &ws.pre[li - 1];
+                for (d, p) in ws.delta_prev[..n_in].iter_mut().zip(&pre[..n_in]) {
+                    *d = if *p > 0.0 { *d } else { 0.0 };
+                }
+                std::mem::swap(&mut ws.delta, &mut ws.delta_prev);
             }
         }
     }
 
-    /// Gradient of the loss with respect to the *input*, given an
-    /// output-space gradient. Does not update weights — used to train an
-    /// upstream generator against this network (GAN-style).
-    pub fn input_gradient(&self, cache: &ForwardCache, dl_dout: &[f64]) -> Vec<f64> {
+    /// Batched gradient of the loss with respect to the *inputs*, given an
+    /// output-space gradient block. Does not update weights — used to train
+    /// an upstream generator against this network (GAN-style). Writes the
+    /// `[batch × input]` block into `dx` (resized); bit-identical to a
+    /// per-example loop.
+    pub fn input_gradient_batch(
+        &self,
+        ws: &mut BatchWorkspace,
+        dl_dout: &[f64],
+        dx: &mut Vec<f64>,
+    ) {
+        self.input_gradient_batch_with(&CpuBackend, ws, dl_dout, dx);
+    }
+
+    /// [`Mlp::input_gradient_batch`] on an explicit [`Backend`].
+    pub fn input_gradient_batch_with<B: Backend>(
+        &self,
+        backend: &B,
+        ws: &mut BatchWorkspace,
+        dl_dout: &[f64],
+        dx: &mut Vec<f64>,
+    ) {
+        let batch = ws.batch;
+        debug_assert_eq!(dl_dout.len(), batch * self.output_size());
+        dx.clear();
+        dx.resize(batch * self.input_size(), 0.0);
+        if batch == 0 || self.layers.is_empty() {
+            return;
+        }
         let last = self.layers.len() - 1;
-        let mut delta: Vec<f64> = match self.output_activation {
-            Activation::Linear => dl_dout.to_vec(),
-            Activation::Sigmoid => cache.post[last + 1]
-                .iter()
-                .zip(dl_dout)
-                .map(|(&y, &g)| g * y * (1.0 - y))
-                .collect(),
-            Activation::Tanh => cache.post[last + 1]
-                .iter()
-                .zip(dl_dout)
-                .map(|(&y, &g)| g * (1.0 - y * y))
-                .collect(),
-        };
+        let n_last = batch * self.layers[last].output;
+        output_delta(
+            self.output_activation,
+            &ws.post[last + 1],
+            dl_dout,
+            &mut ws.delta[..n_last],
+        );
         for li in (0..self.layers.len()).rev() {
             let layer = &self.layers[li];
-            let mut dl_dx = vec![0.0f64; layer.input];
-            for o in 0..layer.output {
-                let row = &layer.w[o * layer.input..(o + 1) * layer.input];
-                for (dx, &w) in dl_dx.iter_mut().zip(row) {
-                    *dx += delta[o] * w;
-                }
-            }
-            if li > 0 {
-                delta = dl_dx
-                    .iter()
-                    .zip(&cache.pre[li - 1])
-                    .map(|(&g, &p)| if p > 0.0 { g } else { 0.0 })
-                    .collect();
+            let (n_in, n_out) = (batch * layer.input, batch * layer.output);
+            backend.input_grad_gemm(
+                batch,
+                layer.input,
+                layer.output,
+                &layer.w,
+                &ws.delta[..n_out],
+                &mut ws.delta_prev[..n_in],
+            );
+            if li == 0 {
+                dx.copy_from_slice(&ws.delta_prev[..n_in]);
             } else {
-                return dl_dx;
+                let pre = &ws.pre[li - 1];
+                for (d, p) in ws.delta_prev[..n_in].iter_mut().zip(&pre[..n_in]) {
+                    *d = if *p > 0.0 { *d } else { 0.0 };
+                }
+                std::mem::swap(&mut ws.delta, &mut ws.delta_prev);
             }
         }
-        Vec::new()
-    }
-
-    /// One squared-error training step on a single example; returns the loss.
-    pub fn train_mse(&mut self, x: &[f64], target: &[f64]) -> f64 {
-        let cache = self.forward(x);
-        let out = cache.post.last().expect("non-empty");
-        let mut grad = Vec::with_capacity(out.len());
-        let mut loss = 0.0;
-        for (o, t) in out.iter().zip(target) {
-            let d = o - t;
-            loss += 0.5 * d * d;
-            grad.push(d);
-        }
-        self.backward_apply(&cache, &grad);
-        loss
     }
 
     /// Snapshot the full network state (weights + Adam moments) for
@@ -339,11 +510,12 @@ impl Mlp {
     /// bit-identically to `net`.
     ///
     /// # Errors
+    /// [`MlError::EmptyNetwork`] when the snapshot has no layers;
     /// [`MlError::LengthMismatch`] when a layer's buffers disagree with its
     /// declared dimensions or adjacent layers do not chain.
     pub fn from_state(state: MlpState) -> Result<Mlp> {
         if state.layers.is_empty() {
-            return Err(MlError::LengthMismatch { left: 0, right: 1 });
+            return Err(MlError::EmptyNetwork);
         }
         let mut prev_output = state.layers[0].input;
         let mut layers = Vec::with_capacity(state.layers.len());
@@ -384,6 +556,161 @@ impl Mlp {
             learning_rate: state.learning_rate,
         })
     }
+}
+
+// ---------------------------------------------------------------------------
+// The retained per-example path: the differential oracle for the batched
+// kernels, compiled only for tests and under `naive-reference`.
+// ---------------------------------------------------------------------------
+
+#[cfg(any(test, feature = "naive-reference"))]
+impl Mlp {
+    /// Forward pass on one example, returning activations and caches.
+    pub fn forward(&self, x: &[f64]) -> ForwardCache {
+        debug_assert_eq!(x.len(), self.input_size());
+        let mut post = vec![x.to_vec()];
+        let mut pre = Vec::with_capacity(self.layers.len());
+        let mut buffer = Vec::new();
+        for (li, layer) in self.layers.iter().enumerate() {
+            layer.forward(post.last().expect("non-empty"), &mut buffer);
+            pre.push(buffer.clone());
+            let last = li + 1 == self.layers.len();
+            let activated: Vec<f64> = if last {
+                match self.output_activation {
+                    Activation::Linear => buffer.clone(),
+                    Activation::Sigmoid => {
+                        buffer.iter().map(|v| 1.0 / (1.0 + (-v).exp())).collect()
+                    }
+                    Activation::Tanh => buffer.iter().map(|v| v.tanh()).collect(),
+                }
+            } else {
+                buffer.iter().map(|v| v.max(0.0)).collect() // ReLU
+            };
+            post.push(activated);
+        }
+        ForwardCache { pre, post }
+    }
+
+    /// Output of the per-example forward pass.
+    pub fn predict(&self, x: &[f64]) -> Vec<f64> {
+        self.forward(x).post.last().expect("non-empty").clone()
+    }
+
+    /// Backpropagate one example from an output-space gradient `dl_dout`
+    /// (∂loss/∂output, *after* the output activation) and apply one Adam
+    /// step.
+    pub fn backward_apply(&mut self, cache: &ForwardCache, dl_dout: &[f64]) {
+        self.step += 1;
+        let t = self.step as f64;
+        let (b1, b2, eps) = (0.9f64, 0.999f64, 1e-8f64);
+        // Hoisted bias-correction scalars (once per step, not per
+        // parameter); `powf` is deterministic so this is bit-identical.
+        let bc1 = 1.0 - b1.powf(t);
+        let bc2 = 1.0 - b2.powf(t);
+        let lr = self.learning_rate;
+
+        // Delta at the output layer (chain through the output activation).
+        let last = self.layers.len() - 1;
+        let mut delta = vec![0.0f64; self.layers[last].output];
+        output_delta(
+            self.output_activation,
+            &cache.post[last + 1],
+            dl_dout,
+            &mut delta,
+        );
+
+        for li in (0..self.layers.len()).rev() {
+            // Gradient wrt inputs of this layer (before overwriting weights).
+            let layer = &self.layers[li];
+            let mut dl_dx = vec![0.0f64; layer.input];
+            for o in 0..layer.output {
+                let row = &layer.w[o * layer.input..(o + 1) * layer.input];
+                for (dx, &w) in dl_dx.iter_mut().zip(row) {
+                    *dx += delta[o] * w;
+                }
+            }
+            // Adam update of weights and biases.
+            let input_act = &cache.post[li];
+            let layer = &mut self.layers[li];
+            for o in 0..layer.output {
+                let base = o * layer.input;
+                for i in 0..layer.input {
+                    let g = delta[o] * input_act[i];
+                    let m = &mut layer.mw[base + i];
+                    let v = &mut layer.vw[base + i];
+                    *m = b1 * *m + (1.0 - b1) * g;
+                    *v = b2 * *v + (1.0 - b2) * g * g;
+                    let mhat = *m / bc1;
+                    let vhat = *v / bc2;
+                    layer.w[base + i] -= lr * mhat / (vhat.sqrt() + eps);
+                }
+                let g = delta[o];
+                let m = &mut layer.mb[o];
+                let v = &mut layer.vb[o];
+                *m = b1 * *m + (1.0 - b1) * g;
+                *v = b2 * *v + (1.0 - b2) * g * g;
+                let mhat = *m / bc1;
+                let vhat = *v / bc2;
+                layer.b[o] -= lr * mhat / (vhat.sqrt() + eps);
+            }
+            if li > 0 {
+                // Chain through the ReLU of the previous hidden layer.
+                delta = dl_dx
+                    .iter()
+                    .zip(&cache.pre[li - 1])
+                    .map(|(&g, &p)| if p > 0.0 { g } else { 0.0 })
+                    .collect();
+            }
+        }
+    }
+
+    /// Per-example gradient of the loss with respect to the *input*, given
+    /// an output-space gradient. Does not update weights.
+    pub fn input_gradient(&self, cache: &ForwardCache, dl_dout: &[f64]) -> Vec<f64> {
+        let last = self.layers.len() - 1;
+        let mut delta = vec![0.0f64; self.layers[last].output];
+        output_delta(
+            self.output_activation,
+            &cache.post[last + 1],
+            dl_dout,
+            &mut delta,
+        );
+        for li in (0..self.layers.len()).rev() {
+            let layer = &self.layers[li];
+            let mut dl_dx = vec![0.0f64; layer.input];
+            for o in 0..layer.output {
+                let row = &layer.w[o * layer.input..(o + 1) * layer.input];
+                for (dx, &w) in dl_dx.iter_mut().zip(row) {
+                    *dx += delta[o] * w;
+                }
+            }
+            if li > 0 {
+                delta = dl_dx
+                    .iter()
+                    .zip(&cache.pre[li - 1])
+                    .map(|(&g, &p)| if p > 0.0 { g } else { 0.0 })
+                    .collect();
+            } else {
+                return dl_dx;
+            }
+        }
+        Vec::new()
+    }
+
+    /// One squared-error training step on a single example; returns the loss.
+    pub fn train_mse(&mut self, x: &[f64], target: &[f64]) -> f64 {
+        let cache = self.forward(x);
+        let out = cache.post.last().expect("non-empty");
+        let mut grad = Vec::with_capacity(out.len());
+        let mut loss = 0.0;
+        for (o, t) in out.iter().zip(target) {
+            let d = o - t;
+            loss += 0.5 * d * d;
+            grad.push(d);
+        }
+        self.backward_apply(&cache, &grad);
+        loss
+    }
 
     /// One binary-cross-entropy step for a single sigmoid output; returns the
     /// loss. `target` ∈ {0,1}.
@@ -398,6 +725,111 @@ impl Mlp {
         let grad = [(y - target) / (y * (1.0 - y))];
         self.backward_apply(&cache, &grad);
         loss
+    }
+
+    /// Per-example formulation of [`Mlp::forward_batch`]: one
+    /// [`Mlp::forward`] call per row. Differential oracle only.
+    pub fn forward_batch_naive(&self, xs: &[f64], batch: usize) -> Vec<ForwardCache> {
+        let input = self.input_size();
+        debug_assert_eq!(xs.len(), batch * input);
+        (0..batch)
+            .map(|r| self.forward(&xs[r * input..(r + 1) * input]))
+            .collect()
+    }
+
+    /// Per-example formulation of [`Mlp::backward_apply_batch`]: the delta
+    /// chain of every example is computed against the *same* pre-update
+    /// weights, weight/bias gradients are accumulated example-major, then
+    /// one Adam step is applied. The batched path must match this
+    /// bit-for-bit. An empty batch is a no-op.
+    pub fn backward_apply_batch_naive(&mut self, caches: &[ForwardCache], dl_dout: &[f64]) {
+        let out = self.output_size();
+        debug_assert_eq!(dl_dout.len(), caches.len() * out);
+        if caches.is_empty() || self.layers.is_empty() {
+            return;
+        }
+        self.step += 1;
+        let t = self.step as f64;
+        let (b1, b2, eps) = (0.9f64, 0.999f64, 1e-8f64);
+        let bc1 = 1.0 - b1.powf(t);
+        let bc2 = 1.0 - b2.powf(t);
+        let lr = self.learning_rate;
+
+        let mut gws: Vec<Vec<f64>> = self
+            .layers
+            .iter()
+            .map(|l| vec![0.0; l.input * l.output])
+            .collect();
+        let mut gbs: Vec<Vec<f64>> = self.layers.iter().map(|l| vec![0.0; l.output]).collect();
+        let last = self.layers.len() - 1;
+        for (e, cache) in caches.iter().enumerate() {
+            let grad = &dl_dout[e * out..(e + 1) * out];
+            let mut delta = vec![0.0f64; self.layers[last].output];
+            output_delta(
+                self.output_activation,
+                &cache.post[last + 1],
+                grad,
+                &mut delta,
+            );
+            for li in (0..self.layers.len()).rev() {
+                let layer = &self.layers[li];
+                let mut dl_dx = vec![0.0f64; layer.input];
+                for o in 0..layer.output {
+                    let row = &layer.w[o * layer.input..(o + 1) * layer.input];
+                    for (dx, &w) in dl_dx.iter_mut().zip(row) {
+                        *dx += delta[o] * w;
+                    }
+                }
+                let input_act = &cache.post[li];
+                for o in 0..layer.output {
+                    let base = o * layer.input;
+                    for i in 0..layer.input {
+                        gws[li][base + i] += delta[o] * input_act[i];
+                    }
+                    gbs[li][o] += delta[o];
+                }
+                if li > 0 {
+                    delta = dl_dx
+                        .iter()
+                        .zip(&cache.pre[li - 1])
+                        .map(|(&g, &p)| if p > 0.0 { g } else { 0.0 })
+                        .collect();
+                }
+            }
+        }
+        for (li, layer) in self.layers.iter_mut().enumerate() {
+            for (idx, &g) in gws[li].iter().enumerate() {
+                let m = &mut layer.mw[idx];
+                let v = &mut layer.vw[idx];
+                *m = b1 * *m + (1.0 - b1) * g;
+                *v = b2 * *v + (1.0 - b2) * g * g;
+                let mhat = *m / bc1;
+                let vhat = *v / bc2;
+                layer.w[idx] -= lr * mhat / (vhat.sqrt() + eps);
+            }
+            for (o, &g) in gbs[li].iter().enumerate() {
+                let m = &mut layer.mb[o];
+                let v = &mut layer.vb[o];
+                *m = b1 * *m + (1.0 - b1) * g;
+                *v = b2 * *v + (1.0 - b2) * g * g;
+                let mhat = *m / bc1;
+                let vhat = *v / bc2;
+                layer.b[o] -= lr * mhat / (vhat.sqrt() + eps);
+            }
+        }
+    }
+
+    /// Per-example formulation of [`Mlp::input_gradient_batch`]: one
+    /// [`Mlp::input_gradient`] call per row, concatenated. Differential
+    /// oracle only.
+    pub fn input_gradient_batch_naive(&self, caches: &[ForwardCache], dl_dout: &[f64]) -> Vec<f64> {
+        let out = self.output_size();
+        debug_assert_eq!(dl_dout.len(), caches.len() * out);
+        caches
+            .iter()
+            .enumerate()
+            .flat_map(|(e, cache)| self.input_gradient(cache, &dl_dout[e * out..(e + 1) * out]))
+            .collect()
     }
 }
 
@@ -468,17 +900,26 @@ mod tests {
         let net = Mlp::new(&[2, 3, 1], Activation::Linear, &mut rng);
         let mut state = net.export_state();
         state.layers[0].w.pop();
-        assert!(Mlp::from_state(state).is_err());
+        assert!(matches!(
+            Mlp::from_state(state),
+            Err(MlError::LengthMismatch { .. })
+        ));
         let mut state = net.export_state();
         state.layers[1].input = 4; // breaks the chain with layer 0
-        assert!(Mlp::from_state(state).is_err());
-        assert!(Mlp::from_state(MlpState {
-            layers: vec![],
-            output_activation: Activation::Linear,
-            step: 0,
-            learning_rate: 1e-3,
-        })
-        .is_err());
+        assert!(matches!(
+            Mlp::from_state(state),
+            Err(MlError::LengthMismatch { .. })
+        ));
+        // A layerless snapshot is its own error, not a bogus length report.
+        assert!(matches!(
+            Mlp::from_state(MlpState {
+                layers: vec![],
+                output_activation: Activation::Linear,
+                step: 0,
+                learning_rate: 1e-3,
+            }),
+            Err(MlError::EmptyNetwork)
+        ));
     }
 
     #[test]
@@ -490,5 +931,50 @@ mod tests {
         let out = net.predict(&[0.1, 0.2, 0.3]);
         assert_eq!(out.len(), 4);
         assert!(out.iter().all(|v| (-1.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn batched_forward_matches_per_example() {
+        let mut rng = StdRng::seed_from_u64(30);
+        let net = Mlp::new(&[3, 7, 5, 2], Activation::Tanh, &mut rng);
+        let xs: Vec<f64> = (0..12).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut ws = BatchWorkspace::new();
+        net.forward_batch(&xs, 4, &mut ws);
+        for (r, cache) in net.forward_batch_naive(&xs, 4).iter().enumerate() {
+            for (b, n) in ws.output()[r * 2..(r + 1) * 2].iter().zip(cache.output()) {
+                assert_eq!(b.to_bits(), n.to_bits(), "row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut net = Mlp::new(&[2, 4, 1], Activation::Sigmoid, &mut rng);
+        let before = net.export_state();
+        let mut ws = BatchWorkspace::new();
+        net.forward_batch(&[], 0, &mut ws);
+        assert!(ws.output().is_empty());
+        net.backward_apply_batch(&mut ws, &[]);
+        let mut dx = vec![1.0; 3];
+        net.input_gradient_batch(&mut ws, &[], &mut dx);
+        assert!(dx.is_empty());
+        assert_eq!(net.export_state(), before, "no step on an empty batch");
+    }
+
+    #[test]
+    fn batch_of_one_equals_single_example_step() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let net = Mlp::new(&[3, 6, 2], Activation::Linear, &mut rng);
+        let mut batched = net.clone();
+        let mut naive = net;
+        let x = [0.4, -1.2, 0.9];
+        let g = [0.3, -0.7];
+        let mut ws = BatchWorkspace::new();
+        batched.forward_batch(&x, 1, &mut ws);
+        batched.backward_apply_batch(&mut ws, &g);
+        let caches = naive.forward_batch_naive(&x, 1);
+        naive.backward_apply_batch_naive(&caches, &g);
+        assert_eq!(batched.export_state(), naive.export_state());
     }
 }

@@ -41,7 +41,11 @@ use synrd_synth::SynthKind;
 /// v2: fit seeds became a function of the dataset content digest instead
 /// of the paper id (the shared-fit fix), which changes every cell's
 /// synthetic draws.
-const FINGERPRINT_VERSION: u64 = 2;
+///
+/// v3: PATECTGAN training moved to batched minibatch rounds (one Adam step
+/// per round, retuned rounds/learning rate), changing its fitted states
+/// and samples.
+const FINGERPRINT_VERSION: u64 = 3;
 
 /// Digest of every config knob that can change a cell's outcome.
 ///

@@ -41,7 +41,11 @@ use synrd_synth::{FittedState, SynthKind};
 
 /// Version tag mixed into every fit fingerprint; bump when fitted-state
 /// semantics change so old fit files invalidate wholesale.
-const FIT_FINGERPRINT_VERSION: u64 = 1;
+///
+/// v2: PATECTGAN fits are produced by the batched minibatch round loop
+/// (new trajectory and retuned hyperparameters), so v1 fit files describe
+/// states the current trainer can no longer reproduce.
+const FIT_FINGERPRINT_VERSION: u64 = 2;
 
 /// Digest of the config knobs a *fit* depends on.
 ///

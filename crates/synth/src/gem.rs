@@ -435,7 +435,7 @@ fn train(
 ) {
     let kk = model.logits.len();
     let kf = kk as f64;
-    let (b1, b2, eps) = (0.9, 0.999, 1e-8);
+    let (b1, b2, eps) = (0.9f64, 0.999f64, 1e-8f64);
     // Normalize weights so the learning rate is scale-free.
     let wsum: f64 = measured.iter().map(|(_, w)| *w).sum::<f64>().max(1e-12);
     // Gradient arena wrt probabilities, hoisted out of the step loop and
@@ -450,6 +450,11 @@ fn train(
     for _ in 0..steps {
         model.step += 1;
         let t = model.step as f64;
+        // Adam bias-correction scalars hoisted to once per step; `powf` is
+        // deterministic, so dividing by the precomputed corrections is
+        // bit-identical to recomputing them per parameter.
+        let bc1 = 1.0 - b1.powf(t);
+        let bc2 = 1.0 - b2.powf(t);
         // Accumulate gradients wrt probabilities, then chain through softmax.
         for comp in grad_p.iter_mut() {
             for g in comp.iter_mut() {
@@ -507,8 +512,8 @@ fn train(
                     let v = &mut model.v[k][a][u];
                     *m = b1 * *m + (1.0 - b1) * g;
                     *v = b2 * *v + (1.0 - b2) * g * g;
-                    let mhat = *m / (1.0 - b1.powf(t));
-                    let vhat = *v / (1.0 - b2.powf(t));
+                    let mhat = *m / bc1;
+                    let vhat = *v / bc2;
                     model.logits[k][a][u] -= lr * mhat / (vhat.sqrt() + eps);
                 }
             }

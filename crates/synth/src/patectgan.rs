@@ -12,6 +12,16 @@
 //! original). The properties the benchmark depends on survive the
 //! simulation: deep-learning based, ε-insensitive, weaker than PGM methods
 //! on low-dimensional data, able to fit arbitrarily large domains.
+//!
+//! **Training is minibatch-batched**: each round draws all `batch` latents
+//! up front, runs one batched generator forward, one batched student
+//! BCE step, and one batched generator update — one matrix-matrix pass per
+//! layer via `synrd-ml`'s [`BatchWorkspace`] kernels instead of `batch`
+//! per-example passes (gradients are summed over the round's samples and
+//! applied as a single Adam step per network per round). The per-example
+//! formulation of the same semantics is retained under `cfg(test)`
+//! (`fit_naive`) as a differential oracle; `fit` must reproduce its fitted
+//! state bit-for-bit.
 
 use crate::common::{dataset_from_columns, measure_gaussian};
 use crate::error::{Result, SynthError};
@@ -21,17 +31,19 @@ use rand::Rng;
 use rand::SeedableRng;
 use synrd_data::{Dataset, Domain, MarginalEngine};
 use synrd_dp::{derive_seed, standard_laplace, standard_normal, Accountant, Privacy};
-use synrd_ml::{Activation, Mlp};
+use synrd_ml::{Activation, BatchWorkspace, Mlp};
 use synrd_pgm::{assemble_chunks, parallel_rows, record_sampling_pass};
 
 /// Configuration for [`PateCtgan`].
 #[derive(Debug, Clone, Copy)]
 pub struct PateCtganOptions {
-    /// Number of PATE teachers.
+    /// Number of PATE teachers (clamped to the row count at fit time so
+    /// every teacher owns at least one row).
     pub teachers: usize,
-    /// Adversarial training rounds.
+    /// Adversarial training rounds; each round is one minibatch Adam step
+    /// for the generator and the student.
     pub rounds: usize,
-    /// Generator/student updates per round.
+    /// Fake samples per round (the minibatch size).
     pub batch: usize,
     /// Latent dimension.
     pub z_dim: usize,
@@ -43,7 +55,7 @@ impl Default for PateCtganOptions {
     fn default() -> Self {
         PateCtganOptions {
             teachers: 8,
-            rounds: 15,
+            rounds: 120,
             batch: 48,
             z_dim: 16,
             hidden: 64,
@@ -83,9 +95,8 @@ fn one_hot(codes: &[u32], blocks: &[(usize, usize)], out: &mut [f64]) {
     }
 }
 
-/// Per-block softmax of generator logits (in place, returning probabilities).
-fn block_softmax(logits: &[f64], blocks: &[(usize, usize)]) -> Vec<f64> {
-    let mut out = vec![0.0f64; logits.len()];
+/// Per-block softmax of generator logits into `out` (same length).
+fn block_softmax_into(logits: &[f64], blocks: &[(usize, usize)], out: &mut [f64]) {
     for &(offset, card) in blocks {
         let slice = &logits[offset..offset + card];
         let max = slice.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
@@ -99,23 +110,112 @@ fn block_softmax(logits: &[f64], blocks: &[(usize, usize)]) -> Vec<f64> {
             *v /= total;
         }
     }
+}
+
+/// Allocating wrapper around [`block_softmax_into`], used by the retained
+/// per-row sampling oracle.
+#[cfg(test)]
+fn block_softmax(logits: &[f64], blocks: &[(usize, usize)]) -> Vec<f64> {
+    let mut out = vec![0.0f64; logits.len()];
+    block_softmax_into(logits, blocks, &mut out);
     out
 }
 
-impl Synthesizer for PateCtgan {
-    fn name(&self) -> &'static str {
-        "PATECTGAN"
+/// Chain a gradient wrt softmax probabilities back through each block
+/// softmax into logit space: `dl_dlogit[v] = p[v] * (g[v] - <p, g>)`.
+fn block_softmax_chain(soft: &[f64], g: &[f64], blocks: &[(usize, usize)], out: &mut [f64]) {
+    for &(off, card) in blocks {
+        let p = &soft[off..off + card];
+        let gb = &g[off..off + card];
+        let dot: f64 = p.iter().zip(gb).map(|(x, y)| x * y).sum();
+        for v in 0..card {
+            out[off + v] = p[v] * (gb[v] - dot);
+        }
     }
+}
 
-    fn fit(&mut self, data: &Dataset, privacy: Privacy, seed: u64) -> Result<()> {
-        let mut rng = StdRng::seed_from_u64(derive_seed(seed, "patectgan-fit"));
+/// Everything `fit` builds before the round loop: budget split, one-hot
+/// layout, moment targets, teacher ensemble, and the two MLPs. Shared
+/// between the batched round loop and the per-example oracle so both
+/// consume the RNG identically and differ only in their MLP calls.
+struct FitState {
+    blocks: Vec<(usize, usize)>,
+    onehot_dim: usize,
+    moment_targets: Vec<Vec<f64>>,
+    vote_scale: f64,
+    n: usize,
+    per_teacher: usize,
+    perm: Vec<usize>,
+    /// Teacher logistic weights over one-hot features (bias-augmented).
+    teacher_w: Vec<Vec<f64>>,
+    /// One-hot encodings of teacher rows, cached across rounds: teachers
+    /// redraw rows from their (fixed) partitions every round, so the
+    /// per-draw zero-fill + re-encode of the full one-hot buffer was pure
+    /// churn. Filled lazily, so memory is bounded by the rows actually
+    /// drawn, not by n.
+    onehot_cache: Vec<Option<Box<[f64]>>>,
+    codes: Vec<u32>,
+    generator: Mlp,
+    student: Mlp,
+}
+
+impl FitState {
+    /// One SGD step per teacher on (its real row = 1, the fake sample = 0),
+    /// then the Laplace-noised PATE vote on the fake sample; returns the
+    /// noisy label the student trains on.
+    fn teacher_step_and_vote(&mut self, data: &Dataset, soft: &[f64], rng: &mut StdRng) -> f64 {
+        let teachers = self.teacher_w.len();
+        for (t, w) in self.teacher_w.iter_mut().enumerate() {
+            // Partition t owns perm[lo..hi]; the last partition absorbs the
+            // n % teachers leftover rows instead of silently dropping them.
+            let lo = t * self.per_teacher;
+            let hi = if t + 1 == teachers {
+                self.n
+            } else {
+                lo + self.per_teacher
+            };
+            let row_idx = self.perm[lo + rng.gen_range(0..hi - lo)];
+            if self.onehot_cache[row_idx].is_none() {
+                let row = data.row(row_idx);
+                for (a, c) in self.codes.iter_mut().enumerate() {
+                    *c = row.get(a);
+                }
+                let mut enc = vec![0.0f64; self.onehot_dim];
+                one_hot(&self.codes, &self.blocks, &mut enc);
+                self.onehot_cache[row_idx] = Some(enc.into_boxed_slice());
+            }
+            let real_onehot = self.onehot_cache[row_idx].as_deref().expect("just filled");
+            logistic_sgd_step(w, real_onehot, 1.0, 0.05);
+            logistic_sgd_step(w, soft, 0.0, 0.05);
+        }
+        let votes_fake: f64 = self
+            .teacher_w
+            .iter()
+            .map(|w| f64::from(logistic_score(w, soft) < 0.5))
+            .sum();
+        let noisy = votes_fake + self.vote_scale * standard_laplace(rng);
+        if noisy > teachers as f64 / 2.0 {
+            0.0 // majority says fake
+        } else {
+            1.0
+        }
+    }
+}
+
+impl PateCtgan {
+    /// Adam learning rate for generator and student. The round loop takes
+    /// one minibatch step per round, so this is tuned for `rounds` total
+    /// steps (not `rounds × batch` as the per-example loop once was).
+    const LEARNING_RATE: f64 = 1e-2;
+
+    fn fit_setup(&self, data: &Dataset, privacy: Privacy, rng: &mut StdRng) -> Result<FitState> {
         let mut accountant = Accountant::new(privacy);
         let total = accountant.total();
         let d = data.n_attrs();
         let n = data.n_rows();
-        if n < self.options.teachers * 2 {
+        if n == 0 {
             return Err(SynthError::Infeasible {
-                reason: "PATECTGAN: too few rows to partition across teachers".to_string(),
+                reason: "PATECTGAN: cannot fit an empty dataset".to_string(),
             });
         }
 
@@ -135,7 +235,7 @@ impl Synthesizer for PateCtgan {
         let mut moment_targets: Vec<Vec<f64>> = Vec::with_capacity(d);
         for a in 0..d {
             accountant.spend(rho_one)?;
-            let m = measure_gaussian(&mut engine, &[a], rho_one, &mut rng)?;
+            let m = measure_gaussian(&mut engine, &[a], rho_one, rng)?;
             let clamped: Vec<f64> = m.values.iter().map(|&v| v.max(0.0)).collect();
             let total_mass: f64 = clamped.iter().sum::<f64>().max(1e-9);
             moment_targets.push(clamped.into_iter().map(|v| v / total_mass).collect());
@@ -148,107 +248,123 @@ impl Synthesizer for PateCtgan {
         let eps_round = eps_pate / self.options.rounds as f64;
         let vote_scale = 2.0 / eps_round.max(1e-6);
 
-        // Teacher partitions (disjoint).
+        // Disjoint teacher partitions. Clamp the ensemble to the row count
+        // so every teacher owns at least one row — a 3-row dataset must fit
+        // cleanly rather than panic on an empty partition.
+        let teachers = self.options.teachers.min(n).max(1);
         let mut perm: Vec<usize> = (0..n).collect();
         use rand::seq::SliceRandom;
-        perm.shuffle(&mut rng);
-        let per_teacher = n / self.options.teachers;
+        perm.shuffle(rng);
+        let per_teacher = n / teachers;
 
-        // Teacher logistic weights over one-hot features.
-        let mut teacher_w = vec![vec![0.0f64; onehot_dim + 1]; self.options.teachers];
+        let teacher_w = vec![vec![0.0f64; onehot_dim + 1]; teachers];
 
         let mut generator = Mlp::new(
             &[self.options.z_dim, self.options.hidden, onehot_dim],
             Activation::Linear,
-            &mut rng,
+            rng,
         );
-        generator.learning_rate = 2e-3;
+        generator.learning_rate = Self::LEARNING_RATE;
         let mut student = Mlp::new(
             &[onehot_dim, self.options.hidden, 1],
             Activation::Sigmoid,
-            &mut rng,
+            rng,
         );
-        student.learning_rate = 2e-3;
+        student.learning_rate = Self::LEARNING_RATE;
 
-        // One-hot encodings of teacher rows, cached across epochs: teachers
-        // redraw rows from their (fixed) partitions every round, so the
-        // per-draw zero-fill + re-encode of the full one-hot buffer was
-        // pure churn. Filled lazily, so memory is bounded by the rows
-        // actually drawn (≤ rounds × batch × teachers), not by n.
-        let mut onehot_cache: Vec<Option<Box<[f64]>>> = vec![None; n];
-        let mut codes = vec![0u32; d];
+        Ok(FitState {
+            blocks,
+            onehot_dim,
+            moment_targets,
+            vote_scale,
+            n,
+            per_teacher,
+            perm,
+            teacher_w,
+            onehot_cache: vec![None; n],
+            codes: vec![0u32; d],
+            generator,
+            student,
+        })
+    }
+}
+
+impl Synthesizer for PateCtgan {
+    fn name(&self) -> &'static str {
+        "PATECTGAN"
+    }
+
+    fn fit(&mut self, data: &Dataset, privacy: Privacy, seed: u64) -> Result<()> {
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, "patectgan-fit"));
+        let mut state = self.fit_setup(data, privacy, &mut rng)?;
+        let batch = self.options.batch;
+        let od = state.onehot_dim;
+        let mut gen_ws = BatchWorkspace::new();
+        let mut student_ws = BatchWorkspace::new();
+        let mut zs = vec![0.0f64; batch * self.options.z_dim];
+        let mut softs = vec![0.0f64; batch * od];
+        let mut labels = vec![0.0f64; batch];
+        let mut dl_dy = vec![0.0f64; batch];
+        let mut dl_dsoft = Vec::new();
+        let mut dl_dlogits = vec![0.0f64; batch * od];
         for _ in 0..self.options.rounds {
-            for _ in 0..self.options.batch {
-                // --- Generator sample (soft probabilities). ---
-                let z: Vec<f64> = (0..self.options.z_dim)
-                    .map(|_| standard_normal(&mut rng))
-                    .collect();
-                let gen_cache = generator.forward(&z);
-                let logits = gen_cache.output().to_vec();
-                let soft = block_softmax(&logits, &blocks);
-
-                // --- Teachers: SGD step on (their real row = 1, fake = 0). ---
-                for (t, w) in teacher_w.iter_mut().enumerate() {
-                    let row_idx = perm[t * per_teacher + rng.gen_range(0..per_teacher)];
-                    if onehot_cache[row_idx].is_none() {
-                        let row = data.row(row_idx);
-                        for (a, c) in codes.iter_mut().enumerate() {
-                            *c = row.get(a);
-                        }
-                        let mut enc = vec![0.0f64; onehot_dim];
-                        one_hot(&codes, &blocks, &mut enc);
-                        onehot_cache[row_idx] = Some(enc.into_boxed_slice());
-                    }
-                    let real_onehot = onehot_cache[row_idx].as_deref().expect("just filled");
-                    logistic_sgd_step(w, real_onehot, 1.0, 0.05);
-                    logistic_sgd_step(w, &soft, 0.0, 0.05);
-                }
-
-                // --- PATE vote on the fake sample with Laplace noise. ---
-                let votes_fake: f64 = teacher_w
-                    .iter()
-                    .map(|w| f64::from(logistic_score(w, &soft) < 0.5))
-                    .sum();
-                let noisy = votes_fake + vote_scale * standard_laplace(&mut rng);
-                let label_fake = if noisy > self.options.teachers as f64 / 2.0 {
-                    0.0 // majority says fake
-                } else {
-                    1.0
-                };
-
-                // --- Student learns the noisy label on the fake sample. ---
-                student.train_bce(&soft, label_fake);
-
-                // --- Generator: fool the student + match noisy moments. ---
-                let student_cache = student.forward(&soft);
-                let y = student_cache.output()[0].clamp(1e-6, 1.0 - 1e-6);
-                // d(-ln y)/dy = -1/y.
-                let dl_dy = [(-1.0 / y)];
-                let mut dl_dsoft = student.input_gradient(&student_cache, &dl_dy);
-                // Moment-matching loss: ||soft_block - target||² per attr.
-                for (a, &(off, card)) in blocks.iter().enumerate() {
-                    for v in 0..card {
-                        dl_dsoft[off + v] += 2.0 * (soft[off + v] - moment_targets[a][v]);
-                    }
-                }
-                // Chain through each block softmax into generator logits.
-                let mut dl_dlogits = vec![0.0f64; onehot_dim];
-                for &(off, card) in &blocks {
-                    let p = &soft[off..off + card];
-                    let g = &dl_dsoft[off..off + card];
-                    let dot: f64 = p.iter().zip(g).map(|(x, y)| x * y).sum();
-                    for v in 0..card {
-                        dl_dlogits[off + v] = p[v] * (g[v] - dot);
-                    }
-                }
-                generator.backward_apply(&gen_cache, &dl_dlogits);
+            // --- Generator minibatch (soft probabilities per sample). ---
+            for z in zs.iter_mut() {
+                *z = standard_normal(&mut rng);
             }
+            state.generator.forward_batch(&zs, batch, &mut gen_ws);
+            for (soft, logits) in softs.chunks_mut(od).zip(gen_ws.output().chunks(od)) {
+                block_softmax_into(logits, &state.blocks, soft);
+            }
+
+            // --- Teachers: SGD steps + one noisy PATE vote per sample. ---
+            for (r, label) in labels.iter_mut().enumerate() {
+                *label = state.teacher_step_and_vote(data, &softs[r * od..(r + 1) * od], &mut rng);
+            }
+
+            // --- Student: one minibatch BCE step on the noisy labels. ---
+            state.student.forward_batch(&softs, batch, &mut student_ws);
+            for ((dy, &y), &label) in dl_dy.iter_mut().zip(student_ws.output()).zip(labels.iter()) {
+                let y = y.clamp(1e-9, 1.0 - 1e-9);
+                // d(BCE)/dy; the sigmoid chain multiplies by y(1-y).
+                *dy = (y - label) / (y * (1.0 - y));
+            }
+            state.student.backward_apply_batch(&mut student_ws, &dl_dy);
+
+            // --- Generator: fool the updated student + match noisy moments. ---
+            state.student.forward_batch(&softs, batch, &mut student_ws);
+            for (dy, &y) in dl_dy.iter_mut().zip(student_ws.output()) {
+                let y = y.clamp(1e-6, 1.0 - 1e-6);
+                *dy = -1.0 / y; // d(-ln y)/dy
+            }
+            state
+                .student
+                .input_gradient_batch(&mut student_ws, &dl_dy, &mut dl_dsoft);
+            for r in 0..batch {
+                let soft = &softs[r * od..(r + 1) * od];
+                let dls = &mut dl_dsoft[r * od..(r + 1) * od];
+                // Moment-matching loss: ||soft_block - target||² per attr.
+                for (a, &(off, card)) in state.blocks.iter().enumerate() {
+                    for v in 0..card {
+                        dls[off + v] += 2.0 * (soft[off + v] - state.moment_targets[a][v]);
+                    }
+                }
+                block_softmax_chain(
+                    soft,
+                    dls,
+                    &state.blocks,
+                    &mut dl_dlogits[r * od..(r + 1) * od],
+                );
+            }
+            state
+                .generator
+                .backward_apply_batch(&mut gen_ws, &dl_dlogits);
         }
 
         self.fitted = Some(Fitted {
             domain: data.domain().clone(),
-            generator,
-            blocks,
+            generator: state.generator,
+            blocks: state.blocks,
             z_dim: self.options.z_dim,
         });
         Ok(())
@@ -275,14 +391,22 @@ impl Synthesizer for PateCtgan {
         }
         record_sampling_pass(n as u64);
         // Batched generator forward passes: chunked over rows and
-        // rayon-parallel — per-row math is untouched and each row reads
-        // only its own pre-drawn randomness, so the parallel pass is
-        // bit-identical to the sequential one.
+        // rayon-parallel — one GEMM per layer per chunk via `forward_batch`,
+        // and each row reads only its own pre-drawn randomness and its own
+        // rows of the output block, so the parallel batched pass is
+        // bit-identical to the sequential per-row one.
+        let onehot_dim: usize = fitted.blocks.iter().map(|&(_, card)| card).sum();
         let sample_chunk = |lo: usize, hi: usize| -> Vec<Vec<u32>> {
-            let mut cols = vec![Vec::with_capacity(hi - lo); d];
-            for r in lo..hi {
-                let logits = fitted.generator.predict(&latents[r * zd..(r + 1) * zd]);
-                let soft = block_softmax(&logits, &fitted.blocks);
+            let rows = hi - lo;
+            let mut cols = vec![Vec::with_capacity(rows); d];
+            let mut ws = BatchWorkspace::new();
+            fitted
+                .generator
+                .forward_batch(&latents[lo * zd..hi * zd], rows, &mut ws);
+            let mut soft = vec![0.0f64; onehot_dim];
+            for (i, logits) in ws.output().chunks(onehot_dim.max(1)).enumerate() {
+                let r = lo + i;
+                block_softmax_into(logits, &fitted.blocks, &mut soft);
                 for (a, &(off, card)) in fitted.blocks.iter().enumerate() {
                     let mut t = uniforms[r * d + a];
                     let mut code = card - 1;
@@ -368,6 +492,81 @@ impl Synthesizer for PateCtgan {
 
 #[cfg(test)]
 impl PateCtgan {
+    /// Per-example formulation of [`PateCtgan::fit`]: the identical round
+    /// semantics (one minibatch Adam step per network per round) realized
+    /// as loops over the retained per-example MLP calls, consuming the RNG
+    /// in the same order. The batched `fit` must reproduce this fitted
+    /// state bit-for-bit.
+    fn fit_naive(&mut self, data: &Dataset, privacy: Privacy, seed: u64) -> Result<()> {
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, "patectgan-fit"));
+        let mut state = self.fit_setup(data, privacy, &mut rng)?;
+        let batch = self.options.batch;
+        let zd = self.options.z_dim;
+        let od = state.onehot_dim;
+        for _ in 0..self.options.rounds {
+            let mut zs = vec![0.0f64; batch * zd];
+            for z in zs.iter_mut() {
+                *z = standard_normal(&mut rng);
+            }
+            let gen_caches = state.generator.forward_batch_naive(&zs, batch);
+            let mut softs = vec![0.0f64; batch * od];
+            for (soft, cache) in softs.chunks_mut(od).zip(&gen_caches) {
+                block_softmax_into(cache.output(), &state.blocks, soft);
+            }
+
+            let mut labels = vec![0.0f64; batch];
+            for (r, label) in labels.iter_mut().enumerate() {
+                *label = state.teacher_step_and_vote(data, &softs[r * od..(r + 1) * od], &mut rng);
+            }
+
+            let student_caches = state.student.forward_batch_naive(&softs, batch);
+            let mut dl_dy = vec![0.0f64; batch];
+            for ((dy, cache), &label) in dl_dy.iter_mut().zip(&student_caches).zip(labels.iter()) {
+                let y = cache.output()[0].clamp(1e-9, 1.0 - 1e-9);
+                *dy = (y - label) / (y * (1.0 - y));
+            }
+            state
+                .student
+                .backward_apply_batch_naive(&student_caches, &dl_dy);
+
+            let student_caches = state.student.forward_batch_naive(&softs, batch);
+            for (dy, cache) in dl_dy.iter_mut().zip(&student_caches) {
+                let y = cache.output()[0].clamp(1e-6, 1.0 - 1e-6);
+                *dy = -1.0 / y;
+            }
+            let mut dl_dsoft = state
+                .student
+                .input_gradient_batch_naive(&student_caches, &dl_dy);
+            let mut dl_dlogits = vec![0.0f64; batch * od];
+            for r in 0..batch {
+                let soft = &softs[r * od..(r + 1) * od];
+                let dls = &mut dl_dsoft[r * od..(r + 1) * od];
+                for (a, &(off, card)) in state.blocks.iter().enumerate() {
+                    for v in 0..card {
+                        dls[off + v] += 2.0 * (soft[off + v] - state.moment_targets[a][v]);
+                    }
+                }
+                block_softmax_chain(
+                    soft,
+                    dls,
+                    &state.blocks,
+                    &mut dl_dlogits[r * od..(r + 1) * od],
+                );
+            }
+            state
+                .generator
+                .backward_apply_batch_naive(&gen_caches, &dl_dlogits);
+        }
+
+        self.fitted = Some(Fitted {
+            domain: data.domain().clone(),
+            generator: state.generator,
+            blocks: state.blocks,
+            z_dim: zd,
+        });
+        Ok(())
+    }
+
     /// The original per-row sampler, retained as the differential oracle
     /// for the batched forward-pass path.
     fn sample_naive(&self, n: usize, seed: u64) -> Result<Dataset> {
@@ -433,16 +632,20 @@ mod tests {
         ds
     }
 
-    #[test]
-    fn batched_sample_matches_naive() {
-        let data = toy_data(1_200);
-        let mut synth = PateCtgan::with_options(PateCtganOptions {
+    fn small_options() -> PateCtganOptions {
+        PateCtganOptions {
             teachers: 4,
             rounds: 4,
             batch: 16,
             z_dim: 8,
             hidden: 16,
-        });
+        }
+    }
+
+    #[test]
+    fn batched_sample_matches_naive() {
+        let data = toy_data(1_200);
+        let mut synth = PateCtgan::with_options(small_options());
         synth
             .fit(&data, Privacy::approx(1.0, 1e-9).unwrap(), 3)
             .unwrap();
@@ -451,5 +654,63 @@ mod tests {
             let naive = synth.sample_naive(n, seed).unwrap();
             assert_eq!(batched, naive, "n = {n}");
         }
+    }
+
+    #[test]
+    fn batched_fit_matches_per_example_oracle() {
+        let data = toy_data(300);
+        let privacy = Privacy::approx(1.0, 1e-9).unwrap();
+        let mut batched = PateCtgan::with_options(small_options());
+        batched.fit(&data, privacy, 7).unwrap();
+        let mut naive = PateCtgan::with_options(small_options());
+        naive.fit_naive(&data, privacy, 7).unwrap();
+        let (b, n) = (batched.fitted.unwrap(), naive.fitted.unwrap());
+        assert_eq!(
+            b.generator.export_state(),
+            n.generator.export_state(),
+            "batched round loop must reproduce the per-example oracle bit-for-bit"
+        );
+        assert_eq!(b.blocks, n.blocks);
+    }
+
+    #[test]
+    fn three_row_fit_returns_cleanly() {
+        // Regression: used to panic with gen_range(0..0) whenever
+        // n < teachers (per_teacher = 0). Teachers are clamped to n now.
+        let data = toy_data(3);
+        let mut synth = PateCtgan::with_options(PateCtganOptions {
+            teachers: 8, // > n on purpose
+            rounds: 3,
+            batch: 8,
+            z_dim: 4,
+            hidden: 8,
+        });
+        synth
+            .fit(&data, Privacy::approx(1.0, 1e-9).unwrap(), 11)
+            .unwrap();
+        let sample = synth.sample(50, 12).unwrap();
+        assert_eq!(sample.n_rows(), 50);
+    }
+
+    #[test]
+    fn leftover_rows_fold_into_last_partition() {
+        // 10 rows across 4 teachers: partitions of 2,2,2,4 — all rows
+        // reachable, nothing dropped. Fit must succeed and stay in bounds.
+        let data = toy_data(10);
+        let mut synth = PateCtgan::with_options(small_options());
+        synth
+            .fit(&data, Privacy::approx(1.0, 1e-9).unwrap(), 13)
+            .unwrap();
+        assert!(synth.fitted.is_some());
+    }
+
+    #[test]
+    fn empty_dataset_is_infeasible() {
+        let data = toy_data(0);
+        let mut synth = PateCtgan::with_options(small_options());
+        let err = synth
+            .fit(&data, Privacy::approx(1.0, 1e-9).unwrap(), 1)
+            .unwrap_err();
+        assert!(matches!(err, SynthError::Infeasible { .. }), "{err}");
     }
 }
