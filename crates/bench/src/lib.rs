@@ -122,7 +122,11 @@ pub struct CliOptions {
 /// * `--resume` — serve already-stored cells instead of refitting;
 /// * `--shard i/n` — compute only shard `i` of `n` (requires `--out-dir`);
 /// * `--merge-shards a,b,c` — union shard stores into `--out-dir` and
-///   assemble reports purely from cached cells.
+///   assemble reports purely from cached cells;
+/// * `--ml-backend auto|cpu|simd` — execution backend for the batched ML
+///   kernels (PATE-CTGAN training). Every backend is bit-identical, so this
+///   changes throughput only: results, fingerprints and cached fits are
+///   unaffected. Defaults to the `SYNRD_ML_BACKEND` env var, then `auto`.
 pub fn config_from_args() -> (BenchmarkConfig, Vec<String>) {
     let cli = cli_from_args();
     (cli.config, cli.papers)
@@ -187,6 +191,16 @@ pub fn cli_from_args() -> CliOptions {
                     .filter(|s| !s.is_empty())
                     .map(PathBuf::from)
                     .collect();
+            }
+            "--ml-backend" => {
+                let name = flag_value("--ml-backend", it.next());
+                // Applied immediately to the process-global selection: the
+                // grid's worker threads pick it up through every
+                // `BatchWorkspace` they construct.
+                if let Err(e) = synrd_synth::ml_backend::set_global(Some(&name)) {
+                    eprintln!("bad --ml-backend '{name}': {e}");
+                    std::process::exit(2);
+                }
             }
             _ => {}
         }

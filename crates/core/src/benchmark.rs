@@ -47,6 +47,12 @@ pub fn paper_epsilons() -> Vec<f64> {
 }
 
 /// Execution configuration.
+///
+/// The ML backend (`synrd_synth::ml_backend`) is deliberately *not* a
+/// field here: backends are bit-identical, so backend choice changes
+/// throughput only, never results. Keeping it process-global keeps the
+/// config fingerprint — and therefore every cached fit and result digest
+/// — backend-free.
 #[derive(Debug, Clone)]
 pub struct BenchmarkConfig {
     /// ε values to sweep.

@@ -11,8 +11,12 @@
 //! [`Mlp::backward_apply_batch`], [`Mlp::input_gradient_batch`] — which
 //! execute one matrix-matrix pass per layer over row-major `[batch × dim]`
 //! activation arenas held in a reusable [`BatchWorkspace`] (zero-alloc after
-//! warm-up) and route every GEMM through a [`Backend`] so SIMD/GPU
-//! implementations can slot in without touching synthesizer code.
+//! warm-up) and route every GEMM through a [`Backend`]. Each workspace
+//! captures the process-global backend selection
+//! ([`backend::global`](crate::backend::global) — the SIMD kernels when the
+//! CPU supports them, overridable via `SYNRD_ML_BACKEND` / `--ml-backend`)
+//! at construction, so synthesizer code picks up SIMD execution without
+//! naming a backend; the `*_with` variants take one explicitly.
 //!
 //! The reduction order is pinned: each output cell sums its dot product in
 //! ascending index order, and batch gradients accumulate example-major. A
@@ -24,7 +28,7 @@
 //! semantics: `backward_apply_batch` takes **one** Adam step from the summed
 //! batch gradient; it is not a loop of sequential per-example Adam steps.
 
-use crate::backend::{Backend, CpuBackend};
+use crate::backend::{self, AnyBackend, Backend};
 use crate::error::{MlError, Result};
 use rand::Rng;
 
@@ -154,9 +158,14 @@ impl ForwardCache {
 /// recycled across calls so the training hot loop is zero-alloc after the
 /// first round. A workspace holds the forward caches
 /// [`Mlp::backward_apply_batch`] and [`Mlp::input_gradient_batch`] consume,
-/// so each network being trained needs its own workspace.
-#[derive(Debug, Default)]
+/// so each network being trained needs its own workspace. It also carries
+/// the [`Backend`] the default batched passes execute on, captured from the
+/// process-global selection at construction (see
+/// [`BatchWorkspace::with_backend`] to pin one explicitly).
+#[derive(Debug)]
 pub struct BatchWorkspace {
+    /// Backend for the default batched passes.
+    backend: AnyBackend,
     batch: usize,
     /// Post-activation arenas: `post[0]` is the input block
     /// `[batch × input]`, `post[l + 1]` holds layer `l`'s activations.
@@ -173,10 +182,37 @@ pub struct BatchWorkspace {
     gb: Vec<f64>,
 }
 
+impl Default for BatchWorkspace {
+    fn default() -> BatchWorkspace {
+        BatchWorkspace::new()
+    }
+}
+
 impl BatchWorkspace {
-    /// Fresh, empty workspace; arenas are sized lazily on first use.
+    /// Fresh, empty workspace on the process-global backend
+    /// ([`backend::global`](crate::backend::global)); arenas are sized
+    /// lazily on first use.
     pub fn new() -> BatchWorkspace {
-        BatchWorkspace::default()
+        BatchWorkspace::with_backend(backend::global())
+    }
+
+    /// Fresh, empty workspace pinned to an explicit backend.
+    pub fn with_backend(backend: AnyBackend) -> BatchWorkspace {
+        BatchWorkspace {
+            backend,
+            batch: 0,
+            post: Vec::new(),
+            pre: Vec::new(),
+            delta: Vec::new(),
+            delta_prev: Vec::new(),
+            gw: Vec::new(),
+            gb: Vec::new(),
+        }
+    }
+
+    /// The backend this workspace's default batched passes execute on.
+    pub fn backend(&self) -> AnyBackend {
+        self.backend
     }
 
     /// The rows recorded by the last [`Mlp::forward_batch`] call.
@@ -269,10 +305,11 @@ impl Mlp {
 
     /// Batched forward pass over `batch` row-major examples (`xs` is
     /// `[batch × input]`), leaving activations in `ws` (read the output via
-    /// [`BatchWorkspace::output`]). One GEMM per layer on the default
-    /// [`CpuBackend`]; bit-identical to a per-example loop.
+    /// [`BatchWorkspace::output`]). One GEMM per layer on the workspace's
+    /// backend; bit-identical to a per-example loop on any backend.
     pub fn forward_batch(&self, xs: &[f64], batch: usize, ws: &mut BatchWorkspace) {
-        self.forward_batch_with(&CpuBackend, xs, batch, ws);
+        let backend = ws.backend;
+        self.forward_batch_with(&backend, xs, batch, ws);
     }
 
     /// [`Mlp::forward_batch`] on an explicit [`Backend`].
@@ -329,7 +366,8 @@ impl Mlp {
     /// update is applied. An empty batch is a no-op (no step). Bit-identical
     /// to the per-example accumulation oracle (`backward_apply_batch_naive`).
     pub fn backward_apply_batch(&mut self, ws: &mut BatchWorkspace, dl_dout: &[f64]) {
-        self.backward_apply_batch_with(&CpuBackend, ws, dl_dout);
+        let backend = ws.backend;
+        self.backward_apply_batch_with(&backend, ws, dl_dout);
     }
 
     /// [`Mlp::backward_apply_batch`] on an explicit [`Backend`].
@@ -390,26 +428,32 @@ impl Mlp {
                 &mut ws.gb[..layer.output],
             );
             let layer = &mut self.layers[li];
-            for idx in 0..wlen {
-                let g = ws.gw[idx];
-                let m = &mut layer.mw[idx];
-                let v = &mut layer.vw[idx];
-                *m = b1 * *m + (1.0 - b1) * g;
-                *v = b2 * *v + (1.0 - b2) * g * g;
-                let mhat = *m / bc1;
-                let vhat = *v / bc2;
-                layer.w[idx] -= lr * mhat / (vhat.sqrt() + eps);
-            }
-            for o in 0..layer.output {
-                let g = ws.gb[o];
-                let m = &mut layer.mb[o];
-                let v = &mut layer.vb[o];
-                *m = b1 * *m + (1.0 - b1) * g;
-                *v = b2 * *v + (1.0 - b2) * g * g;
-                let mhat = *m / bc1;
-                let vhat = *v / bc2;
-                layer.b[o] -= lr * mhat / (vhat.sqrt() + eps);
-            }
+            // Element-wise Adam on the backend too: same per-element
+            // operation sequence on every backend, so still bit-identical.
+            backend.adam_update(
+                lr,
+                b1,
+                b2,
+                eps,
+                bc1,
+                bc2,
+                &ws.gw[..wlen],
+                &mut layer.mw,
+                &mut layer.vw,
+                &mut layer.w,
+            );
+            backend.adam_update(
+                lr,
+                b1,
+                b2,
+                eps,
+                bc1,
+                bc2,
+                &ws.gb[..layer.output],
+                &mut layer.mb,
+                &mut layer.vb,
+                &mut layer.b,
+            );
             if li > 0 {
                 // Chain through the ReLU of the hidden layer below.
                 let pre = &ws.pre[li - 1];
@@ -432,7 +476,8 @@ impl Mlp {
         dl_dout: &[f64],
         dx: &mut Vec<f64>,
     ) {
-        self.input_gradient_batch_with(&CpuBackend, ws, dl_dout, dx);
+        let backend = ws.backend;
+        self.input_gradient_batch_with(&backend, ws, dl_dout, dx);
     }
 
     /// [`Mlp::input_gradient_batch`] on an explicit [`Backend`].

@@ -1,6 +1,8 @@
 //! Differential proptests pinning the batched MLP kernels bit-identical to
 //! the per-example oracle across random shapes, batch sizes (including 0
-//! and 1), output activations, and non-finite inputs.
+//! and 1), output activations, and non-finite inputs — on **every
+//! registered backend** (`synrd_ml::backend::registered_backends()`), so a
+//! new backend is covered by the full differential suite for free.
 //!
 //! Requires the `naive-reference` feature (CI runs this at
 //! `PROPTEST_CASES=1024`).
@@ -10,6 +12,7 @@
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use synrd_ml::backend::registered_backends;
 use synrd_ml::{Activation, BatchWorkspace, Mlp};
 
 fn activation() -> impl Strategy<Value = Activation> {
@@ -39,10 +42,12 @@ fn values(len: usize) -> impl Strategy<Value = Vec<f64>> {
 type Case = (Vec<usize>, usize, Activation, u64, Vec<f64>, Vec<f64>);
 
 /// Random layer sizes, batch (0..=5), activation, net seed, and an input /
-/// output-gradient block sized to match.
+/// output-gradient block sized to match. Layer sizes reach 12 so the SIMD
+/// backend's 8-wide and 4-wide lane blocks are exercised as well as its
+/// scalar ragged edges.
 fn case() -> impl Strategy<Value = Case> {
     (
-        proptest::collection::vec(1usize..=6, 2..=4),
+        proptest::collection::vec(1usize..=12, 2..=4),
         0usize..=5,
         activation(),
         0u64..u64::MAX,
@@ -94,45 +99,54 @@ proptest! {
     fn forward_batch_is_bit_identical((sizes, batch, act, seed, xs, _g) in case()) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let net = Mlp::new(&sizes, act, &mut rng);
-        let mut ws = BatchWorkspace::new();
-        net.forward_batch(&xs, batch, &mut ws);
         let naive: Vec<f64> = net
             .forward_batch_naive(&xs, batch)
             .iter()
             .flat_map(|c| c.output().to_vec())
             .collect();
-        prop_assert_eq!(bits(ws.output()), bits(&naive));
+        for backend in registered_backends() {
+            let mut ws = BatchWorkspace::with_backend(backend);
+            net.forward_batch(&xs, batch, &mut ws);
+            prop_assert_eq!((backend.name(), bits(ws.output())), (backend.name(), bits(&naive)));
+        }
     }
 
     #[test]
     fn input_gradient_batch_is_bit_identical((sizes, batch, act, seed, xs, grads) in case()) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let net = Mlp::new(&sizes, act, &mut rng);
-        let mut ws = BatchWorkspace::new();
-        net.forward_batch(&xs, batch, &mut ws);
-        let mut dx = Vec::new();
-        net.input_gradient_batch(&mut ws, &grads, &mut dx);
         let caches = net.forward_batch_naive(&xs, batch);
         let naive = net.input_gradient_batch_naive(&caches, &grads);
-        prop_assert_eq!(bits(&dx), bits(&naive));
+        for backend in registered_backends() {
+            let mut ws = BatchWorkspace::with_backend(backend);
+            net.forward_batch(&xs, batch, &mut ws);
+            let mut dx = Vec::new();
+            net.input_gradient_batch(&mut ws, &grads, &mut dx);
+            prop_assert_eq!((backend.name(), bits(&dx)), (backend.name(), bits(&naive)));
+        }
     }
 
     #[test]
     fn backward_apply_batch_is_bit_identical((sizes, batch, act, seed, xs, grads) in case()) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let net = Mlp::new(&sizes, act, &mut rng);
-        let mut batched = net.clone();
-        let mut naive = net;
-        let mut ws = BatchWorkspace::new();
-        // Two consecutive steps so the comparison exercises the Adam state
-        // (moments + step counter) past the first bias correction, and the
-        // workspace arenas get reused.
-        for _round in 0..2 {
-            batched.forward_batch(&xs, batch, &mut ws);
-            batched.backward_apply_batch(&mut ws, &grads);
-            let caches = naive.forward_batch_naive(&xs, batch);
-            naive.backward_apply_batch_naive(&caches, &grads);
-            prop_assert_eq!(state_bits(&batched), state_bits(&naive));
+        for backend in registered_backends() {
+            let mut batched = net.clone();
+            let mut naive = net.clone();
+            let mut ws = BatchWorkspace::with_backend(backend);
+            // Two consecutive steps so the comparison exercises the Adam
+            // state (moments + step counter) past the first bias correction,
+            // and the workspace arenas get reused.
+            for _round in 0..2 {
+                batched.forward_batch(&xs, batch, &mut ws);
+                batched.backward_apply_batch(&mut ws, &grads);
+                let caches = naive.forward_batch_naive(&xs, batch);
+                naive.backward_apply_batch_naive(&caches, &grads);
+                prop_assert_eq!(
+                    (backend.name(), state_bits(&batched)),
+                    (backend.name(), state_bits(&naive))
+                );
+            }
         }
     }
 }

@@ -1,7 +1,8 @@
 //! The `synrd` serve-mode binary.
 //!
 //! ```text
-//! synrd serve --out-dir DIR [--addr HOST:PORT] [--workers N] [grid knobs]
+//! synrd serve --out-dir DIR [--addr HOST:PORT] [--workers N]
+//!             [--ml-backend auto|cpu|simd] [grid knobs]
 //! synrd request ADDR 'JSON'        # one request line, prints the response
 //! synrd bench-serve [--quick] [--out BENCH_serve.json]
 //! ```
@@ -75,6 +76,14 @@ fn cmd_serve(args: &[String]) {
         eprintln!("serve requires --out-dir (the grid run's result store)");
         std::process::exit(2);
     };
+    // Backend for any ML work the service performs (bit-identical across
+    // backends; the `stats` response reports the active one).
+    if let Some(name) = flag_value(args, "--ml-backend") {
+        if let Err(e) = synrd_synth::ml_backend::set_global(Some(&name)) {
+            eprintln!("bad --ml-backend '{name}': {e}");
+            std::process::exit(2);
+        }
+    }
     let addr = flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".to_string());
     let workers = flag_value(args, "--workers")
         .and_then(|v| v.parse().ok())

@@ -318,6 +318,13 @@ fn handle_stats(service: &FitService) -> JsonValue {
             "restored_in_memory",
             JsonValue::Uint(service.restored.read().unwrap().len() as u64),
         ),
+        // Active ML execution backend (`--ml-backend` / `SYNRD_ML_BACKEND`).
+        // Informational: backends are bit-identical, so serving results do
+        // not depend on it.
+        (
+            "ml_backend",
+            JsonValue::Str(synrd_synth::ml_backend::global_name().to_string()),
+        ),
     ])
 }
 

@@ -212,6 +212,12 @@ fn tcp_round_trip_ping_sample_shutdown() {
     let stats = exchange(r#"{"op":"stats"}"#.to_string());
     assert_ok(&stats);
     assert_eq!(stats.get("samples_served"), Some(&JsonValue::Uint(1)));
+    // The stats response reports the active ML backend by name.
+    let backend = synrd_synth::ml_backend::global_name();
+    assert_eq!(
+        stats.get("ml_backend"),
+        Some(&JsonValue::Str(backend.to_string()))
+    );
 
     assert_ok(&exchange(r#"{"op":"shutdown"}"#.to_string()));
     handle.join();

@@ -9,6 +9,11 @@
 //! network parameterizes, with fully analytic gradients. Because it never
 //! materializes anything larger than a pair marginal, GEM runs on domains
 //! that defeat every PGM-based method (e.g. Jeong et al.'s 1e43).
+//!
+//! The analytic trainer contains no GEMM, so the process-global ML
+//! backend selection (`--ml-backend`, `SYNRD_ML_BACKEND`) passes through
+//! this synthesizer with no effect — only PATE-CTGAN's batched MLP passes
+//! route through `synrd_ml::backend`.
 
 use crate::common::{dataset_from_columns, measure_gaussian};
 use crate::error::{Result, SynthError};

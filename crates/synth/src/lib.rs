@@ -41,6 +41,12 @@ pub use workload::{all_pairs, all_pairs_under, WorkloadQuery};
 // marginal counting counter), re-exported so the grid driver and tests can
 // read them without a direct synrd-pgm dependency.
 pub use synrd_pgm::{rows_sampled, sampling_passes};
+// The ML backend dispatch (`auto | cpu | simd`), re-exported so the grid
+// driver and the serve binary can apply `--ml-backend` / report the active
+// backend without a direct synrd-ml dependency. Backend selection changes
+// throughput only — every backend is bit-identical, so fitted states and
+// cache fingerprints do not depend on it.
+pub use synrd_ml::backend as ml_backend;
 
 use synrd_data::{Dataset, Domain};
 use synrd_dp::{delta_for_n, Privacy};
