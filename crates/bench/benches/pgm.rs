@@ -52,6 +52,7 @@ fn estimation_iterations(c: &mut Criterion) {
                         iterations: iters,
                         initial_step: 1.0,
                         cell_limit: 1 << 21,
+                        fit_threads: 1,
                     },
                 )
                 .expect("estimate")

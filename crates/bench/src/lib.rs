@@ -126,7 +126,11 @@ pub struct CliOptions {
 /// * `--ml-backend auto|cpu|simd` — execution backend for the batched ML
 ///   kernels (PATE-CTGAN training). Every backend is bit-identical, so this
 ///   changes throughput only: results, fingerprints and cached fits are
-///   unaffected. Defaults to the `SYNRD_ML_BACKEND` env var, then `auto`.
+///   unaffected. Defaults to the `SYNRD_ML_BACKEND` env var, then `auto`;
+/// * `--fit-threads auto|N` — intra-fit thread allowance per cell. `auto`
+///   (the default) derives it from the core budget (`threads / live cells`,
+///   floored at 1); `N` pins it. Fits are bit-identical at any thread
+///   count, so this too changes throughput only.
 pub fn config_from_args() -> (BenchmarkConfig, Vec<String>) {
     let cli = cli_from_args();
     (cli.config, cli.papers)
@@ -191,6 +195,19 @@ pub fn cli_from_args() -> CliOptions {
                     .filter(|s| !s.is_empty())
                     .map(PathBuf::from)
                     .collect();
+            }
+            "--fit-threads" => {
+                let spec = flag_value("--fit-threads", it.next());
+                config.fit_threads = match spec.as_str() {
+                    "auto" => None,
+                    n => match n.parse::<usize>() {
+                        Ok(v) if v >= 1 => Some(v),
+                        _ => {
+                            eprintln!("bad --fit-threads '{spec}': expected 'auto' or a positive thread count");
+                            std::process::exit(2);
+                        }
+                    },
+                };
             }
             "--ml-backend" => {
                 let name = flag_value("--ml-backend", it.next());

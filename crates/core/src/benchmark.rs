@@ -21,7 +21,7 @@ use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 use synrd_dp::grid_seed;
-use synrd_synth::{FittedState, SynthError, SynthKind, Synthesizer};
+use synrd_synth::{FitContext, FittedState, SynthError, SynthKind, Synthesizer};
 
 /// Process-wide count of synthesizer fits performed by the grid driver.
 ///
@@ -69,6 +69,13 @@ pub struct BenchmarkConfig {
     pub data_seed: u64,
     /// Worker threads for the cell grid.
     pub threads: usize,
+    /// Intra-fit thread allowance per cell: `None` derives it from the core
+    /// budget (`threads / live cells`, floored at 1), `Some(n)` pins it.
+    ///
+    /// Throughput-only, like the ML backend: every fit is bit-identical at
+    /// any thread count, so this never enters the config fingerprint, the
+    /// fit-cache fingerprint, or any fitted state.
+    pub fit_threads: Option<usize>,
     /// Per-fit wall-clock budget (the paper's 6-hour rule); exceeding it on
     /// the first seed crosshatches the cell.
     pub fit_timeout: Option<Duration>,
@@ -92,6 +99,7 @@ impl BenchmarkConfig {
             min_rows: 2_500,
             data_seed: 20230531,
             threads: available_threads(),
+            fit_threads: None,
             fit_timeout: Some(Duration::from_secs(300)),
             restrict_privmrf: true,
             synthesizers: SynthKind::ALL.to_vec(),
@@ -124,6 +132,64 @@ fn available_threads() -> usize {
         .map(|n| n.get())
         .unwrap_or(4)
         .clamp(1, 16)
+}
+
+/// Two-level core budget: the grid spends `config.threads` workers on
+/// concurrent cells (level 1), and each in-flight cell receives an intra-fit
+/// thread allowance carved from the same pool (level 2). With fewer cells
+/// than cores the leftover cores go into the fits; with more cells than
+/// cores every fit runs sequentially, exactly as before.
+///
+/// The allowance is a pure function of the config shape and the batch size —
+/// never of scheduling — and intra-fit parallelism is bit-identical at any
+/// thread count, so the budget can only change wall-clock time, never
+/// results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreBudget {
+    total: usize,
+    fixed: Option<usize>,
+}
+
+impl CoreBudget {
+    /// Budget for a run: `config.threads` cores, with `config.fit_threads`
+    /// optionally pinning the per-fit allowance.
+    pub fn from_config(config: &BenchmarkConfig) -> CoreBudget {
+        CoreBudget {
+            total: config.threads.max(1),
+            fixed: config.fit_threads,
+        }
+    }
+
+    /// Per-fit thread allowance when `cells` cells are in the batch: the
+    /// pinned count if one was configured, otherwise
+    /// `total / min(total, cells)` floored at 1 (cells beyond the worker
+    /// count queue rather than run, so they never dilute the allowance).
+    pub fn fit_threads(&self, cells: usize) -> usize {
+        match self.fixed {
+            Some(n) => n.max(1),
+            None => (self.total / self.total.min(cells).max(1)).max(1),
+        }
+    }
+}
+
+/// Process-wide cache of grid thread pools, one per thread count: the grid
+/// drivers run many batches per process (per paper, per shard) and pool
+/// construction is not free, so `execute_cells` reuses one pool per count
+/// instead of building a fresh pool per invocation.
+fn shared_pool(threads: usize) -> std::sync::Arc<rayon::ThreadPool> {
+    use std::collections::HashMap;
+    use std::sync::{Arc, Mutex, OnceLock};
+    static POOLS: OnceLock<Mutex<HashMap<usize, Arc<rayon::ThreadPool>>>> = OnceLock::new();
+    let pools = POOLS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = pools.lock().expect("grid pool cache poisoned");
+    Arc::clone(map.entry(threads).or_insert_with(|| {
+        Arc::new(
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("thread pool construction cannot fail"),
+        )
+    }))
 }
 
 /// Why a cell has no parity numbers.
@@ -405,11 +471,7 @@ where
 {
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         if config.threads > 1 {
-            rayon::ThreadPoolBuilder::new()
-                .num_threads(config.threads)
-                .build()
-                .expect("thread pool construction cannot fail")
-                .install(|| coords.par_iter().map(&f).collect())
+            shared_pool(config.threads).install(|| coords.par_iter().map(&f).collect())
         } else {
             coords.iter().map(&f).collect()
         }
@@ -512,6 +574,7 @@ pub fn run_paper_with_stores(
 
     let grid = full_grid(config);
     let paper_id = paper.dataset().id();
+    let fit_threads = CoreBudget::from_config(config).fit_threads(grid.len());
     let cell = |&(s_idx, e_idx): &(usize, usize)| -> CellOutcome {
         let kind = config.synthesizers[s_idx];
         let epsilon = config.epsilons[e_idx];
@@ -520,7 +583,7 @@ pub fn run_paper_with_stores(
                 return hit;
             }
         }
-        let out = run_cell(paper_id, &ground, config, kind, epsilon, fits);
+        let out = run_cell(paper_id, &ground, config, kind, epsilon, fits, fit_threads);
         if let Some(st) = store {
             st.save(paper_id, kind, epsilon, &out);
         }
@@ -623,10 +686,11 @@ pub fn run_grid_sharded_with_stores(
         // Data generation and ground truth are only paid for papers that
         // actually have work in this shard.
         let ground = ground_truth(paper.as_ref(), config)?;
+        let fit_threads = CoreBudget::from_config(config).fit_threads(todo.len());
         let cell = |&(s_idx, e_idx): &(usize, usize)| -> CellOutcome {
             let kind = config.synthesizers[s_idx];
             let epsilon = config.epsilons[e_idx];
-            let out = run_cell(paper_id, &ground, config, kind, epsilon, fits);
+            let out = run_cell(paper_id, &ground, config, kind, epsilon, fits, fit_threads);
             store.save(paper_id, kind, epsilon, &out);
             out
         };
@@ -692,6 +756,7 @@ fn run_cell(
     kind: SynthKind,
     epsilon: f64,
     fits: Option<&dyn FitStore>,
+    fit_threads: usize,
 ) -> CellOutcome {
     let PaperGround {
         real,
@@ -732,7 +797,8 @@ fn run_cell(
                     seed_idx as u64,
                 );
                 GRID_FITS.fetch_add(1, Ordering::Relaxed);
-                match synth.fit(real, privacy, fit_seed) {
+                let ctx = FitContext::with_threads(fit_threads);
+                match synth.fit_with(real, privacy, fit_seed, ctx) {
                     Ok(()) => {}
                     Err(SynthError::Infeasible { reason }) => {
                         return CellOutcome::unavailable(
@@ -949,6 +1015,7 @@ mod tests {
                 min_rows: 400,
                 data_seed: 5,
                 threads,
+                fit_threads: None,
                 fit_timeout: None,
                 restrict_privmrf: true,
                 synthesizers: vec![SynthKind::Mst],

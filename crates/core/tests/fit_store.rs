@@ -168,6 +168,7 @@ fn config() -> BenchmarkConfig {
         min_rows: 600,
         data_seed: 7,
         threads: 1,
+        fit_threads: None,
         fit_timeout: None,
         restrict_privmrf: true,
         synthesizers: vec![SynthKind::Mst, SynthKind::Gem],
@@ -253,6 +254,58 @@ fn fit_cache_hits_across_ml_backends() {
         other_report.bitwise_eq(&cpu_report),
         "served fits must be backend-independent bit for bit"
     );
+}
+
+#[test]
+fn fit_cache_hits_across_fit_thread_counts() {
+    // The intra-fit thread allowance is throughput-only and deliberately
+    // absent from both `FittedState` and the fit-cache key: fits are
+    // bit-identical at any thread count, so a store populated by a
+    // sequential run must serve a multi-threaded run (and vice versa) with
+    // zero refits and bit-identical reports. MST + GEM exercise both the
+    // mirror-descent and analytic-trainer parallel paths.
+    let config = BenchmarkConfig {
+        fit_threads: Some(1),
+        ..config()
+    };
+    let store = MemFitStore::default();
+    let expected_fits = (config.seeds * config.synthesizers.len() * config.epsilons.len()) as u64;
+
+    let seq_report = run_paper_with_stores(&MeanPaper, &config, None, Some(&store)).unwrap();
+    assert_eq!(store.stores.load(Ordering::Relaxed), expected_fits);
+
+    let mt_config = BenchmarkConfig {
+        fit_threads: Some(4),
+        ..config
+    };
+    let before = fits_performed();
+    let mt_report = run_paper_with_stores(&MeanPaper, &mt_config, None, Some(&store)).unwrap();
+    assert_eq!(
+        fits_performed() - before,
+        0,
+        "sequential fits must serve a 4-thread run"
+    );
+    assert_eq!(store.hits.load(Ordering::Relaxed), expected_fits);
+    assert!(
+        mt_report.bitwise_eq(&seq_report),
+        "served fits must be thread-count-independent bit for bit"
+    );
+
+    // And the reverse direction from a cold store: a 4-thread cold run must
+    // produce bitwise the same states the sequential run stored.
+    let cold_mt = MemFitStore::default();
+    let cold_report = run_paper_with_stores(&MeanPaper, &mt_config, None, Some(&cold_mt)).unwrap();
+    assert!(cold_report.bitwise_eq(&seq_report));
+    let seq_fits = store.fits.lock().unwrap();
+    let mt_fits = cold_mt.fits.lock().unwrap();
+    assert_eq!(seq_fits.len(), mt_fits.len());
+    for (key, state) in seq_fits.iter() {
+        let other = &mt_fits[key];
+        assert!(
+            format!("{state:?}") == format!("{other:?}"),
+            "fitted state for {key:?} differs across fit-thread counts"
+        );
+    }
 }
 
 #[test]

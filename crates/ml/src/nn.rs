@@ -166,6 +166,11 @@ impl ForwardCache {
 pub struct BatchWorkspace {
     /// Backend for the default batched passes.
     backend: AnyBackend,
+    /// Worker-thread allowance for the per-layer GEMMs. Layers whose
+    /// multiply-add count clears [`backend::gemm_threads`]'s threshold fan
+    /// out over this many workers; results are bit-identical at any count,
+    /// so the allowance (like the backend) never reaches a fitted state.
+    threads: usize,
     batch: usize,
     /// Post-activation arenas: `post[0]` is the input block
     /// `[batch × input]`, `post[l + 1]` holds layer `l`'s activations.
@@ -200,6 +205,7 @@ impl BatchWorkspace {
     pub fn with_backend(backend: AnyBackend) -> BatchWorkspace {
         BatchWorkspace {
             backend,
+            threads: 1,
             batch: 0,
             post: Vec::new(),
             pre: Vec::new(),
@@ -213,6 +219,18 @@ impl BatchWorkspace {
     /// The backend this workspace's default batched passes execute on.
     pub fn backend(&self) -> AnyBackend {
         self.backend
+    }
+
+    /// Set the worker-thread allowance for the batched passes (`0` and `1`
+    /// both mean sequential). Purely a throughput knob: every thread count
+    /// produces bit-identical results.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The worker-thread allowance for the batched passes.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The rows recorded by the last [`Mlp::forward_batch`] call.
@@ -313,7 +331,7 @@ impl Mlp {
     }
 
     /// [`Mlp::forward_batch`] on an explicit [`Backend`].
-    pub fn forward_batch_with<B: Backend>(
+    pub fn forward_batch_with<B: Backend + Sync>(
         &self,
         backend: &B,
         xs: &[f64],
@@ -324,7 +342,10 @@ impl Mlp {
         ws.ensure(self, batch);
         ws.post[0].copy_from_slice(xs);
         for (li, layer) in self.layers.iter().enumerate() {
-            backend.forward_gemm(
+            let threads = backend::gemm_threads(ws.threads, batch * layer.input * layer.output);
+            backend::forward_gemm_mt(
+                backend,
+                threads,
                 batch,
                 layer.input,
                 layer.output,
@@ -371,7 +392,7 @@ impl Mlp {
     }
 
     /// [`Mlp::backward_apply_batch`] on an explicit [`Backend`].
-    pub fn backward_apply_batch_with<B: Backend>(
+    pub fn backward_apply_batch_with<B: Backend + Sync>(
         &mut self,
         backend: &B,
         ws: &mut BatchWorkspace,
@@ -405,10 +426,13 @@ impl Mlp {
             let layer = &self.layers[li];
             let (n_in, n_out) = (batch * layer.input, batch * layer.output);
             let wlen = layer.input * layer.output;
+            let threads = backend::gemm_threads(ws.threads, batch * layer.input * layer.output);
             // Gradient wrt this layer's inputs (for the layer below), from
             // the pre-update weights.
             if li > 0 {
-                backend.input_grad_gemm(
+                backend::input_grad_gemm_mt(
+                    backend,
+                    threads,
                     batch,
                     layer.input,
                     layer.output,
@@ -418,7 +442,9 @@ impl Mlp {
                 );
             }
             // Example-major batch gradients, then one Adam update.
-            backend.weight_grad_gemm(
+            backend::weight_grad_gemm_mt(
+                backend,
+                threads,
                 batch,
                 layer.input,
                 layer.output,
@@ -481,7 +507,7 @@ impl Mlp {
     }
 
     /// [`Mlp::input_gradient_batch`] on an explicit [`Backend`].
-    pub fn input_gradient_batch_with<B: Backend>(
+    pub fn input_gradient_batch_with<B: Backend + Sync>(
         &self,
         backend: &B,
         ws: &mut BatchWorkspace,
@@ -506,7 +532,10 @@ impl Mlp {
         for li in (0..self.layers.len()).rev() {
             let layer = &self.layers[li];
             let (n_in, n_out) = (batch * layer.input, batch * layer.output);
-            backend.input_grad_gemm(
+            let threads = backend::gemm_threads(ws.threads, batch * layer.input * layer.output);
+            backend::input_grad_gemm_mt(
+                backend,
+                threads,
                 batch,
                 layer.input,
                 layer.output,
@@ -1005,6 +1034,42 @@ mod tests {
         net.input_gradient_batch(&mut ws, &[], &mut dx);
         assert!(dx.is_empty());
         assert_eq!(net.export_state(), before, "no step on an empty batch");
+    }
+
+    /// Whole training rounds under a multi-thread allowance are bit-identical
+    /// to the sequential workspace — layers sized past the
+    /// [`backend::gemm_threads`] gate so the fan-out path actually runs.
+    #[test]
+    fn batched_training_is_bit_identical_across_thread_counts() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let net0 = Mlp::new(&[48, 64, 48], Activation::Tanh, &mut rng);
+        let batch = 128usize;
+        let xs: Vec<f64> = (0..batch * 48).map(|i| (i as f64 * 0.173).sin()).collect();
+        let g: Vec<f64> = (0..batch * 48).map(|i| (i as f64 * 0.311).cos()).collect();
+
+        let run = |threads: usize| {
+            let mut net = net0.clone();
+            let mut ws = BatchWorkspace::new();
+            ws.set_threads(threads);
+            let mut dx = Vec::new();
+            for _ in 0..3 {
+                net.forward_batch(&xs, batch, &mut ws);
+                net.input_gradient_batch(&mut ws, &g, &mut dx);
+                net.backward_apply_batch(&mut ws, &g);
+            }
+            net.forward_batch(&xs, batch, &mut ws);
+            (net.export_state(), ws.output().to_vec(), dx)
+        };
+
+        let (state1, out1, dx1) = run(1);
+        for threads in [2usize, 3, 7] {
+            let (state, out, dx) = run(threads);
+            assert_eq!(state, state1, "threads={threads} diverged in weights");
+            let same =
+                |a: &[f64], b: &[f64]| a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same(&out, &out1), "threads={threads} diverged in output");
+            assert!(same(&dx, &dx1), "threads={threads} diverged in input grads");
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@ use crate::inference::{calibrate_into, CalibratedTree};
 use crate::junction_tree::JunctionTree;
 use crate::sampling::TreeSampler;
 use crate::workspace::CalibrationWorkspace;
+use rayon::prelude::*;
 use std::sync::OnceLock;
 
 /// One noisy marginal measurement.
@@ -48,6 +49,11 @@ pub struct EstimationOptions {
     pub initial_step: f64,
     /// Maximum cells per junction-tree clique.
     pub cell_limit: usize,
+    /// Worker threads for the intra-fit parallel phases of the loss pass
+    /// (target marginalization and the per-clique gradient lift). Every
+    /// reduction order is pinned, so fitted models are **bit-identical at
+    /// any thread count**; `1` (the default) runs fully sequential.
+    pub fit_threads: usize,
 }
 
 impl Default for EstimationOptions {
@@ -56,6 +62,7 @@ impl Default for EstimationOptions {
             iterations: 120,
             initial_step: 1.0,
             cell_limit: 1 << 21,
+            fit_threads: 1,
         }
     }
 }
@@ -214,38 +221,120 @@ struct Target {
     grad: Vec<f64>,
 }
 
+/// Marginalize one target's belief onto its measurement scope and refresh
+/// its probabilities, using the target's own disjoint `(maxes, sums)`
+/// scratch pair. The per-cell operation sequence is exactly the historical
+/// shared-scratch loop — only the buffer identity differs — so sequential
+/// and parallel schedules produce bit-identical `marg`/`probs`.
+fn marginalize_target(cal: &CalibratedTree, t: &mut Target, mx: &mut [f64], sm: &mut [f64]) {
+    let belief = &cal.beliefs[t.clique];
+    if t.plan.is_identity() {
+        // Measurement scope == clique scope: the marginal is the belief.
+        t.marg.copy_from_slice(belief.log_values());
+    } else {
+        mx.fill(f64::NEG_INFINITY);
+        sm.fill(0.0);
+        marg_max(belief.log_values(), mx, &t.plan);
+        marg_sum(belief.log_values(), mx, sm, &t.plan);
+        marg_finish(mx, sm, &mut t.marg);
+    }
+    probabilities_into_slice(&t.marg, &mut t.probs);
+}
+
+/// Lift one clique's marginal-space gradients onto its potential buffer,
+/// applying the clique's targets in ascending target index — the order the
+/// historical single-pass loop produced (assign first, add the rest).
+fn lift_clique_grad(grad: &mut Factor, idxs: &[usize], targets: &[Target]) {
+    let g = grad.log_values_mut();
+    for (pos, &ti) in idxs.iter().enumerate() {
+        let t = &targets[ti];
+        if pos == 0 {
+            bcast_assign(g, &t.grad, &t.plan);
+        } else {
+            bcast_add(g, &t.grad, &t.plan);
+        }
+    }
+}
+
 /// Measurement loss, and optionally the per-clique potential-space
 /// gradients (written into `grads`, with `grad_set[c]` marking cliques that
-/// received any contribution). Allocation-free.
+/// received any contribution).
+///
+/// Three phases, so the middle one can pin the reduction order while the
+/// outer two parallelize over independent buffers:
+///
+/// 1. marginalize every target (parallel over targets — each owns `marg`,
+///    `probs` and a disjoint slice of `scratch`);
+/// 2. accumulate the scalar loss and the marginal-space gradients
+///    sequentially in target order (the single floating-point chain that
+///    fixes bit-identity at every thread count);
+/// 3. lift gradients per clique (parallel over cliques — each owns its
+///    potential buffer; within a clique, targets apply in ascending index).
+///
+/// The sequential schedule (`threads <= 1`) runs the same three phases in
+/// the same per-cell order, allocation-free.
+#[allow(clippy::too_many_arguments)]
 fn loss_and_grad(
     cal: &CalibratedTree,
     targets: &mut [Target],
     want_grad: bool,
     grads: &mut [Factor],
     grad_set: &mut [bool],
-    maxes: &mut [f64],
-    sums: &mut [f64],
+    clique_targets: &[Vec<usize>],
+    scratch: &mut [f64],
+    threads: usize,
 ) -> f64 {
-    if want_grad {
-        grad_set.fill(false);
+    let parallel = threads > 1 && targets.len() > 1;
+
+    // Phase 1: per-target marginalization into disjoint buffers.
+    if parallel {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("fit thread pool");
+        // Contiguous target chunks paired with their slice of the scratch
+        // arena (targets and arena share one ordering, so a chunk's scratch
+        // is one contiguous split).
+        let chunk = targets.len().div_ceil(threads);
+        let mut jobs: Vec<(&mut [Target], &mut [f64])> = Vec::with_capacity(threads);
+        let mut rest_t: &mut [Target] = targets;
+        let mut rest_s: &mut [f64] = scratch;
+        while !rest_t.is_empty() {
+            let take = chunk.min(rest_t.len());
+            let (tc, tr) = rest_t.split_at_mut(take);
+            let need: usize = tc.iter().map(|t| 2 * t.marg.len()).sum();
+            let (sc, sr) = rest_s.split_at_mut(need);
+            rest_t = tr;
+            rest_s = sr;
+            jobs.push((tc, sc));
+        }
+        pool.install(|| {
+            jobs.into_par_iter().for_each(|(tc, sc)| {
+                let mut rest = sc;
+                for t in tc.iter_mut() {
+                    let cells = t.marg.len();
+                    let (mx, r) = rest.split_at_mut(cells);
+                    let (sm, r) = r.split_at_mut(cells);
+                    rest = r;
+                    marginalize_target(cal, t, mx, sm);
+                }
+            });
+        });
+    } else {
+        let mut rest = &mut scratch[..];
+        for t in targets.iter_mut() {
+            let cells = t.marg.len();
+            let (mx, r) = rest.split_at_mut(cells);
+            let (sm, r) = r.split_at_mut(cells);
+            rest = r;
+            marginalize_target(cal, t, mx, sm);
+        }
     }
+
+    // Phase 2: one sequential loss chain in target order (and the cheap
+    // marginal-space gradient fill, which reuses the same `diff`).
     let mut loss = 0.0;
     for t in targets.iter_mut() {
-        let belief = &cal.beliefs[t.clique];
-        let cells = t.marg.len();
-        if t.plan.is_identity() {
-            // Measurement scope == clique scope: the marginal is the belief.
-            t.marg.copy_from_slice(belief.log_values());
-        } else {
-            let mx = &mut maxes[..cells];
-            let sm = &mut sums[..cells];
-            mx.fill(f64::NEG_INFINITY);
-            sm.fill(0.0);
-            marg_max(belief.log_values(), mx, &t.plan);
-            marg_sum(belief.log_values(), mx, sm, &t.plan);
-            marg_finish(mx, sm, &mut t.marg);
-        }
-        probabilities_into_slice(&t.marg, &mut t.probs);
         for (k, (p, y)) in t.probs.iter().zip(&t.proportions).enumerate() {
             let diff = p - y;
             loss += t.weight * diff * diff;
@@ -253,13 +342,34 @@ fn loss_and_grad(
                 t.grad[k] = 2.0 * t.weight * diff;
             }
         }
-        if want_grad {
-            let g = grads[t.clique].log_values_mut();
-            if grad_set[t.clique] {
-                bcast_add(g, &t.grad, &t.plan);
-            } else {
-                bcast_assign(g, &t.grad, &t.plan);
-                grad_set[t.clique] = true;
+    }
+
+    // Phase 3: per-clique gradient lift over disjoint potential buffers.
+    if want_grad {
+        for (set, idxs) in grad_set.iter_mut().zip(clique_targets) {
+            *set = !idxs.is_empty();
+        }
+        let targets_ref: &[Target] = targets;
+        let touched = clique_targets.iter().filter(|i| !i.is_empty()).count();
+        if parallel && touched > 1 {
+            let jobs: Vec<(&Vec<usize>, &mut Factor)> = clique_targets
+                .iter()
+                .zip(grads.iter_mut())
+                .filter(|(idxs, _)| !idxs.is_empty())
+                .collect();
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("fit thread pool");
+            pool.install(|| {
+                jobs.into_par_iter()
+                    .for_each(|(idxs, grad)| lift_clique_grad(grad, idxs, targets_ref));
+            });
+        } else {
+            for (idxs, grad) in clique_targets.iter().zip(grads.iter_mut()) {
+                if !idxs.is_empty() {
+                    lift_clique_grad(grad, idxs, targets_ref);
+                }
             }
         }
     }
@@ -318,7 +428,6 @@ pub fn estimate_with(
     // noisy *proportions* with proportion-space noise std, plus the stride
     // plan and scratch each target reuses every iteration.
     let mut targets = Vec::with_capacity(measurements.len());
-    let mut max_target_cells = 1usize;
     for m in measurements {
         let clique =
             tree.containing_clique(&m.attrs)
@@ -342,7 +451,6 @@ pub fn estimate_with(
                 values: m.values.len(),
             });
         }
-        max_target_cells = max_target_cells.max(cells);
         let sigma_prop = (m.sigma / n_estimate).max(1e-9);
         targets.push(Target {
             clique,
@@ -353,6 +461,13 @@ pub fn estimate_with(
             probs: vec![0.0; cells],
             grad: vec![0.0; cells],
         });
+    }
+
+    // Clique → targets map for the gradient lift (ascending target index
+    // within each clique, the order the loss pass pins).
+    let mut clique_targets: Vec<Vec<usize>> = vec![Vec::new(); tree.cliques().len()];
+    for (i, t) in targets.iter().enumerate() {
+        clique_targets[t.clique].push(i);
     }
 
     // Initialize potentials to uniform; pre-size the proposal, gradient and
@@ -366,8 +481,9 @@ pub fn estimate_with(
     let mut proposal = theta.clone();
     let mut grads: Vec<Factor> = theta.clone();
     let mut grad_set = vec![false; theta.len()];
-    let mut maxes = vec![0.0f64; max_target_cells];
-    let mut sums = vec![0.0f64; max_target_cells];
+    let scratch_len: usize = targets.iter().map(|t| 2 * t.marg.len()).sum();
+    ws.ensure_target_scratch(scratch_len);
+    let threads = options.fit_threads.max(1);
     let mut cal = CalibratedTree::default();
     let mut trial = CalibratedTree::default();
 
@@ -382,10 +498,10 @@ pub fn estimate_with(
         false,
         &mut grads,
         &mut grad_set,
-        &mut maxes,
-        &mut sums,
+        &clique_targets,
+        &mut ws.target_scratch[..scratch_len],
+        threads,
     );
-    let mut final_loss = loss;
 
     for _ in 0..options.iterations {
         loss_and_grad(
@@ -394,8 +510,9 @@ pub fn estimate_with(
             true,
             &mut grads,
             &mut grad_set,
-            &mut maxes,
-            &mut sums,
+            &clique_targets,
+            &mut ws.target_scratch[..scratch_len],
+            threads,
         );
         // Backtracking: shrink the step until the loss decreases.
         let mut accepted = false;
@@ -415,14 +532,14 @@ pub fn estimate_with(
                 false,
                 &mut grads,
                 &mut grad_set,
-                &mut maxes,
-                &mut sums,
+                &clique_targets,
+                &mut ws.target_scratch[..scratch_len],
+                threads,
             );
             if new_loss <= loss {
                 std::mem::swap(&mut theta, &mut proposal);
                 std::mem::swap(&mut cal, &mut trial);
                 loss = new_loss;
-                final_loss = new_loss;
                 step *= 1.25; // expand after success
                 accepted = true;
                 break;
@@ -438,7 +555,7 @@ pub fn estimate_with(
         tree,
         calibrated: cal,
         n_estimate,
-        final_loss,
+        final_loss: loss,
         sampler: OnceLock::new(),
     })
 }
@@ -721,6 +838,60 @@ mod tests {
                 "workspace reuse changed a fit"
             );
             assert_eq!(shared.final_loss(), fresh.final_loss());
+        }
+    }
+
+    /// A full descent at every fit-thread count must be bit-identical to the
+    /// sequential fit — odd counts catch remainder-chunk order bugs.
+    #[test]
+    fn fit_threads_are_bit_identical() {
+        let domain = vec![3usize, 2, 4, 2, 3];
+        let mut ms = Vec::new();
+        // Overlapping pairs plus singletons: several cliques, several
+        // targets per clique, ragged target sizes.
+        for (a, b) in [(0usize, 1usize), (1, 2), (2, 3), (3, 4), (0, 4)] {
+            let cells = domain[a] * domain[b];
+            ms.push(NoisyMeasurement {
+                attrs: vec![a.min(b), a.max(b)],
+                values: (0..cells).map(|i| 40.0 + 13.0 * i as f64).collect(),
+                sigma: 3.0,
+            });
+        }
+        for a in 0..domain.len() {
+            ms.push(NoisyMeasurement {
+                attrs: vec![a],
+                values: (0..domain[a]).map(|i| 250.0 - 20.0 * i as f64).collect(),
+                sigma: 5.0,
+            });
+        }
+        let opts = EstimationOptions {
+            iterations: 40,
+            ..EstimationOptions::default()
+        };
+        let baseline = estimate(&domain, &ms, opts).unwrap();
+        for threads in [2usize, 3, 7] {
+            let model = estimate(
+                &domain,
+                &ms,
+                EstimationOptions {
+                    fit_threads: threads,
+                    ..opts
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                model.calibrated().beliefs,
+                baseline.calibrated().beliefs,
+                "fit_threads={threads} changed the fitted beliefs"
+            );
+            assert_eq!(
+                model.final_loss().to_bits(),
+                baseline.final_loss().to_bits()
+            );
+            assert_eq!(
+                model.n_estimate().to_bits(),
+                baseline.n_estimate().to_bits()
+            );
         }
     }
 }

@@ -43,6 +43,12 @@ pub struct CalibrationWorkspace {
     pub(crate) marg_sums: Vec<f64>,
     /// Probability scratch sized to the largest clique (sampler, loss).
     pub(crate) prob_scratch: Vec<f64>,
+    /// Flat max/sum arena for the estimation loss pass: one disjoint
+    /// `(maxes, sums)` pair per measurement target, so targets can be
+    /// marginalized concurrently (and the sequential path replays exactly
+    /// the same per-slice operations). Sized by `estimate_with` during
+    /// warm-up; grow-only, so AIM's repeated refits reuse one arena.
+    pub(crate) target_scratch: Vec<f64>,
 }
 
 /// Cheap structural fingerprint of a junction tree (FNV-1a over cliques,
@@ -181,6 +187,17 @@ impl CalibrationWorkspace {
     /// available after the workspace has been built for a tree.
     pub(crate) fn prob_scratch_mut(&mut self) -> &mut [f64] {
         &mut self.prob_scratch
+    }
+
+    /// Grow the per-target marginalization arena to at least `len` floats
+    /// (2 × total measurement cells for the current fit). A no-op once the
+    /// arena is large enough, so the mirror-descent loop stays
+    /// allocation-free after warm-up.
+    pub(crate) fn ensure_target_scratch(&mut self, len: usize) {
+        if self.target_scratch.len() < len {
+            note_buffer_alloc();
+            self.target_scratch.resize(len, 0.0);
+        }
     }
 
     /// Size only the probability scratch for `tree` (a no-op when the

@@ -131,6 +131,7 @@ proptest! {
             iterations: iters,
             initial_step: 1.0,
             cell_limit: 1 << 16,
+            fit_threads: 1,
         };
         let fast = estimate(&shape, &measurements, opts).unwrap();
         let naive = estimate_naive(&shape, &measurements, opts).unwrap();
@@ -147,6 +148,64 @@ proptest! {
                 bits_eq(a.log_values(), b.log_values()),
                 "estimate diverged from naive at clique {}:\n  stride: {:?}\n  naive:  {:?}",
                 c, a.log_values(), b.log_values()
+            );
+        }
+    }
+}
+
+proptest! {
+    /// A full descent is bit-identical at every fit-thread count: the loss
+    /// pass marginalizes targets into disjoint buffers and keeps the loss
+    /// reduction chain sequential, so chunking must never change a bit.
+    /// Odd counts (3, 7) catch remainder-chunk ordering bugs.
+    #[test]
+    fn estimate_is_bit_identical_across_fit_threads(
+        (shape, sets, vals) in random_problem(),
+        iters in 1usize..=10,
+        threads in (0usize..3).prop_map(|i| [2usize, 3, 7][i]),
+    ) {
+        let measurements: Vec<NoisyMeasurement> = sets
+            .iter()
+            .enumerate()
+            .map(|(i, attrs)| {
+                let cells: usize = attrs.iter().map(|&a| shape[a]).product();
+                NoisyMeasurement {
+                    attrs: attrs.clone(),
+                    values: (0..cells)
+                        .map(|k| 50.0 * vals[(i * 31 + k) % vals.len()].clamp(-3.0, 3.0).abs())
+                        .collect(),
+                    sigma: 1.0 + i as f64,
+                }
+            })
+            .collect();
+        let opts = EstimationOptions {
+            iterations: iters,
+            initial_step: 1.0,
+            cell_limit: 1 << 16,
+            fit_threads: 1,
+        };
+        let sequential = estimate(&shape, &measurements, opts).unwrap();
+        let parallel = estimate(
+            &shape,
+            &measurements,
+            EstimationOptions { fit_threads: threads, ..opts },
+        )
+        .unwrap();
+        prop_assert_eq!(
+            parallel.final_loss().to_bits(),
+            sequential.final_loss().to_bits()
+        );
+        for (c, (a, b)) in parallel
+            .calibrated()
+            .beliefs
+            .iter()
+            .zip(&sequential.calibrated().beliefs)
+            .enumerate()
+        {
+            prop_assert!(
+                bits_eq(a.log_values(), b.log_values()),
+                "fit_threads={} diverged from sequential at clique {}",
+                threads, c
             );
         }
     }
@@ -179,6 +238,7 @@ fn mirror_descent_iterations_allocate_nothing_after_warmup() {
             iterations,
             initial_step: 1.0,
             cell_limit: 1 << 21,
+            fit_threads: 1,
         };
         let before = factor_buffer_allocs();
         let model = estimate(&domain, &ms, opts).unwrap();
@@ -210,6 +270,7 @@ fn fit_allocations_are_independent_of_iteration_count() {
             iterations: iters,
             initial_step: 1.0,
             cell_limit: 1 << 21,
+            fit_threads: 1,
         };
         let mut ws = CalibrationWorkspace::new();
         let before = factor_buffer_allocs();

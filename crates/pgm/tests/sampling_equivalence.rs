@@ -144,6 +144,7 @@ fn fitted_model_sampling_matches_naive() {
             iterations: 30,
             initial_step: 1.0,
             cell_limit: 1 << 21,
+            fit_threads: 1,
         },
     )
     .unwrap();

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! synrd serve --out-dir DIR [--addr HOST:PORT] [--workers N]
-//!             [--ml-backend auto|cpu|simd] [grid knobs]
+//!             [--ml-backend auto|cpu|simd] [--fit-threads auto|N]
+//!             [grid knobs]
 //! synrd request ADDR 'JSON'        # one request line, prints the response
 //! synrd bench-serve [--quick] [--out BENCH_serve.json]
 //! ```
@@ -82,6 +83,23 @@ fn cmd_serve(args: &[String]) {
         if let Err(e) = synrd_synth::ml_backend::set_global(Some(&name)) {
             eprintln!("bad --ml-backend '{name}': {e}");
             std::process::exit(2);
+        }
+    }
+    // Intra-fit thread allowance for any fits the process performs
+    // (bit-identical at any count; the `stats` response reports it).
+    // `auto` keeps the default (`SYNRD_FIT_THREADS`, else sequential).
+    if let Some(spec) = flag_value(args, "--fit-threads") {
+        match spec.as_str() {
+            "auto" => {}
+            n => match n.parse::<usize>() {
+                Ok(v) if v >= 1 => synrd_synth::set_default_fit_threads(v),
+                _ => {
+                    eprintln!(
+                        "bad --fit-threads '{spec}': expected 'auto' or a positive thread count"
+                    );
+                    std::process::exit(2);
+                }
+            },
         }
     }
     let addr = flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".to_string());

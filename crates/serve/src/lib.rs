@@ -325,6 +325,13 @@ fn handle_stats(service: &FitService) -> JsonValue {
             "ml_backend",
             JsonValue::Str(synrd_synth::ml_backend::global_name().to_string()),
         ),
+        // Active intra-fit thread allowance (`--fit-threads` /
+        // `SYNRD_FIT_THREADS`). Informational for the same reason: fits are
+        // bit-identical at any thread count.
+        (
+            "fit_threads",
+            JsonValue::Uint(synrd_synth::default_fit_threads() as u64),
+        ),
     ])
 }
 

@@ -498,6 +498,39 @@ mod tests {
     }
 
     #[test]
+    fn fit_thread_allowance_never_reaches_the_fingerprint() {
+        // Intra-fit parallelism is bit-identical at any thread count, so the
+        // allowance must stay out of fit identity: configs differing only in
+        // `fit_threads` fingerprint identically, and a fit saved by a
+        // sequential run loads under any allowance.
+        let dir = tmp_dir("fit-threads");
+        let seq = BenchmarkConfig {
+            fit_threads: Some(1),
+            ..BenchmarkConfig::quick()
+        };
+        let wide = BenchmarkConfig {
+            fit_threads: Some(8),
+            ..BenchmarkConfig::quick()
+        };
+        let auto = BenchmarkConfig {
+            fit_threads: None,
+            ..BenchmarkConfig::quick()
+        };
+        let fp = fit_fingerprint(&seq);
+        assert_eq!(fit_fingerprint(&wide), fp);
+        assert_eq!(fit_fingerprint(&auto), fp);
+
+        let cache = DiskFitCache::open(&dir, &seq).unwrap();
+        cache.save(9, SynthKind::Mst, 1.0, 0, &fitted_state(3));
+        let reopened = DiskFitCache::open(&dir, &wide).unwrap();
+        assert!(
+            reopened.load(9, SynthKind::Mst, 1.0, 0).is_some(),
+            "a sequential fit must hit under an 8-thread allowance"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn write_only_never_serves_loads() {
         let dir = tmp_dir("write-only");
         let config = BenchmarkConfig::quick();

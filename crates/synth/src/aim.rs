@@ -15,7 +15,7 @@ use crate::common::{
 use crate::error::{Result, SynthError};
 use crate::scoring::{aim_candidate_score, map_scores, parallel_scoring};
 use crate::workload::{all_pairs_under, WorkloadQuery};
-use crate::{FittedState, Synthesizer};
+use crate::{FitContext, FittedState, Synthesizer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use synrd_data::{Dataset, Domain, Marginal, MarginalEngine};
@@ -73,7 +73,13 @@ impl Synthesizer for Aim {
         "AIM"
     }
 
-    fn fit(&mut self, data: &Dataset, privacy: Privacy, seed: u64) -> Result<()> {
+    fn fit_with(
+        &mut self,
+        data: &Dataset,
+        privacy: Privacy,
+        seed: u64,
+        ctx: FitContext,
+    ) -> Result<()> {
         check_domain_limit(data.domain(), self.options.domain_limit, "AIM")?;
         let mut rng = StdRng::seed_from_u64(derive_seed(seed, "aim-fit"));
         let mut accountant = Accountant::new(privacy);
@@ -93,10 +99,12 @@ impl Synthesizer for Aim {
             accountant.spend(rho_init)?;
             measurements.push(measure_gaussian(&mut engine, &[a], rho_init, &mut rng)?);
         }
-        let est_opts = |iters: usize, cell_limit: usize| EstimationOptions {
+        let fit_threads = ctx.threads.max(1);
+        let est_opts = move |iters: usize, cell_limit: usize| EstimationOptions {
             iterations: iters,
             initial_step: 1.0,
             cell_limit,
+            fit_threads,
         };
         // One scratch arena across every refit: AIM re-estimates after each
         // round, and the workspace re-plans only when the tree topology

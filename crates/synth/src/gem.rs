@@ -18,7 +18,7 @@
 use crate::common::{dataset_from_columns, measure_gaussian};
 use crate::error::{Result, SynthError};
 use crate::workload::all_pairs;
-use crate::{FittedState, Synthesizer};
+use crate::{FitContext, FittedState, Synthesizer};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -221,7 +221,13 @@ impl Synthesizer for Gem {
         "GEM"
     }
 
-    fn fit(&mut self, data: &Dataset, privacy: Privacy, seed: u64) -> Result<()> {
+    fn fit_with(
+        &mut self,
+        data: &Dataset,
+        privacy: Privacy,
+        seed: u64,
+        ctx: FitContext,
+    ) -> Result<()> {
         let mut rng = StdRng::seed_from_u64(derive_seed(seed, "gem-fit"));
         let mut accountant = Accountant::new(privacy);
         let total = accountant.total();
@@ -257,6 +263,7 @@ impl Synthesizer for Gem {
             n,
             self.options.grad_steps,
             self.options.learning_rate,
+            ctx.threads,
         );
 
         // Adaptive rounds on the remaining 80%. Round 0 scores every pair,
@@ -312,6 +319,7 @@ impl Synthesizer for Gem {
                 n,
                 self.options.grad_steps,
                 self.options.learning_rate,
+                ctx.threads,
             );
         }
 
@@ -431,12 +439,20 @@ impl Gem {
 }
 
 /// Adam on the mixture logits against all measurements so far.
+///
+/// The trainer is analytic (no GEMM): each step accumulates per-component
+/// probability-space gradients, chains them through the softmax and takes
+/// one Adam step. Both phases decompose over mixture components — every
+/// component owns disjoint `grad_p[k]` / `logits[k]` / moment slices, and
+/// each cell's accumulation stays in ascending measurement order — so the
+/// fan-out over components is **bit-identical at any thread count**.
 fn train(
     model: &mut GemModel,
     measured: &[(NoisyMeasurement, f64)],
     n: f64,
     steps: usize,
     lr: f64,
+    threads: usize,
 ) {
     let kk = model.logits.len();
     let kf = kk as f64;
@@ -451,6 +467,12 @@ fn train(
         .iter()
         .map(|comp| comp.iter().map(|l| vec![0.0; l.len()]).collect())
         .collect();
+    // Measurement weights and proportion targets are step-invariant.
+    let prepared: Vec<(&NoisyMeasurement, f64, Vec<f64>)> = measured
+        .iter()
+        .map(|(meas, w)| (meas, w / wsum, meas.values.iter().map(|v| v / n).collect()))
+        .collect();
+    let threads = threads.clamp(1, kk);
 
     for _ in 0..steps {
         model.step += 1;
@@ -460,39 +482,43 @@ fn train(
         // bit-identical to recomputing them per parameter.
         let bc1 = 1.0 - b1.powf(t);
         let bc2 = 1.0 - b2.powf(t);
-        // Accumulate gradients wrt probabilities, then chain through softmax.
-        for comp in grad_p.iter_mut() {
+
+        // Model marginals once per measurement per step (pure reads of the
+        // pre-step model, shared by every component's gradient).
+        let mps: Vec<Vec<f64>> = prepared
+            .iter()
+            .map(|(meas, _, _)| model.marginal(&meas.attrs))
+            .collect();
+
+        // Accumulate gradients wrt probabilities, one component at a time;
+        // every cell sums its measurement contributions in ascending
+        // measurement order.
+        let model_ref: &GemModel = model;
+        let mps_ref = &mps;
+        let prepared_ref = &prepared;
+        let accumulate = move |k: usize, comp: &mut Vec<Vec<f64>>| {
             for g in comp.iter_mut() {
                 g.fill(0.0);
             }
-        }
-
-        for (meas, w) in measured {
-            let w = w / wsum;
-            let target: Vec<f64> = meas.values.iter().map(|v| v / n).collect();
-            match meas.attrs.as_slice() {
-                [a] => {
-                    let mp = model.marginal(&[*a]);
-                    for k in 0..kk {
-                        for (v, g) in grad_p[k][*a].iter_mut().enumerate() {
+            for ((meas, w, target), mp) in prepared_ref.iter().zip(mps_ref) {
+                match meas.attrs.as_slice() {
+                    [a] => {
+                        for (v, g) in comp[*a].iter_mut().enumerate() {
                             *g += 2.0 * w * (mp[v] - target[v]) / kf;
                         }
                     }
-                }
-                [a, b] => {
-                    let mp = model.marginal(&[*a, *b]);
-                    let cb = model.logits[0][*b].len();
-                    for k in 0..kk {
-                        let pa = model.probs(k, *a);
-                        let pb = model.probs(k, *b);
-                        for (i, ga) in grad_p[k][*a].iter_mut().enumerate() {
+                    [a, b] => {
+                        let cb = model_ref.logits[0][*b].len();
+                        let pa = model_ref.probs(k, *a);
+                        let pb = model_ref.probs(k, *b);
+                        for (i, ga) in comp[*a].iter_mut().enumerate() {
                             let mut acc = 0.0;
                             for (j, &pbj) in pb.iter().enumerate() {
                                 acc += 2.0 * w * (mp[i * cb + j] - target[i * cb + j]) * pbj;
                             }
                             *ga += acc / kf;
                         }
-                        for (j, gb) in grad_p[k][*b].iter_mut().enumerate() {
+                        for (j, gb) in comp[*b].iter_mut().enumerate() {
                             let mut acc = 0.0;
                             for (i, &pai) in pa.iter().enumerate() {
                                 acc += 2.0 * w * (mp[i * cb + j] - target[i * cb + j]) * pai;
@@ -500,27 +526,78 @@ fn train(
                             *gb += acc / kf;
                         }
                     }
+                    _ => {}
                 }
-                _ => {}
+            }
+        };
+        if threads > 1 {
+            let jobs: Vec<(usize, &mut Vec<Vec<f64>>)> = grad_p.iter_mut().enumerate().collect();
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("gem thread pool");
+            pool.install(|| {
+                jobs.into_par_iter()
+                    .for_each(|(k, comp)| accumulate(k, comp));
+            });
+        } else {
+            for (k, comp) in grad_p.iter_mut().enumerate() {
+                accumulate(k, comp);
             }
         }
 
-        // Chain through softmax and apply Adam.
-        for k in 0..kk {
-            for a in 0..model.logits[k].len() {
-                let p = softmax(&model.logits[k][a]);
-                let gp = &grad_p[k][a];
+        // Chain through softmax and apply Adam — per-component parameter and
+        // moment slices are disjoint, and the update is element-wise.
+        let step_component = |logits_k: &mut Vec<Vec<f64>>,
+                              m_k: &mut Vec<Vec<f64>>,
+                              v_k: &mut Vec<Vec<f64>>,
+                              grad_k: &Vec<Vec<f64>>| {
+            for a in 0..logits_k.len() {
+                let p = softmax(&logits_k[a]);
+                let gp = &grad_k[a];
                 let dot: f64 = p.iter().zip(gp).map(|(x, y)| x * y).sum();
                 for u in 0..p.len() {
                     let g = p[u] * (gp[u] - dot);
-                    let m = &mut model.m[k][a][u];
-                    let v = &mut model.v[k][a][u];
+                    let m = &mut m_k[a][u];
+                    let v = &mut v_k[a][u];
                     *m = b1 * *m + (1.0 - b1) * g;
                     *v = b2 * *v + (1.0 - b2) * g * g;
                     let mhat = *m / bc1;
                     let vhat = *v / bc2;
-                    model.logits[k][a][u] -= lr * mhat / (vhat.sqrt() + eps);
+                    logits_k[a][u] -= lr * mhat / (vhat.sqrt() + eps);
                 }
+            }
+        };
+        if threads > 1 {
+            #[allow(clippy::type_complexity)]
+            let jobs: Vec<(
+                (&mut Vec<Vec<f64>>, &mut Vec<Vec<f64>>, &mut Vec<Vec<f64>>),
+                &Vec<Vec<f64>>,
+            )> = model
+                .logits
+                .iter_mut()
+                .zip(model.m.iter_mut())
+                .zip(model.v.iter_mut())
+                .map(|((l, m), v)| (l, m, v))
+                .zip(grad_p.iter())
+                .collect();
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("gem thread pool");
+            pool.install(|| {
+                jobs.into_par_iter()
+                    .for_each(|((l, m, v), g)| step_component(l, m, v, g));
+            });
+        } else {
+            for (((l, m), v), g) in model
+                .logits
+                .iter_mut()
+                .zip(model.m.iter_mut())
+                .zip(model.v.iter_mut())
+                .zip(grad_p.iter())
+            {
+                step_component(l, m, v, g);
             }
         }
     }
@@ -585,6 +662,47 @@ mod tests {
             let batched = synth.sample(n, seed).unwrap();
             let naive = synth.sample_naive(n, seed).unwrap();
             assert_eq!(batched, naive, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn fit_is_bit_identical_across_thread_counts() {
+        let data = correlated(1_200);
+        let opts = GemOptions {
+            mixture: 8,
+            rounds: 3,
+            grad_steps: 25,
+            learning_rate: 0.1,
+        };
+        let gem_state = |synth: &Gem| match synth.fitted_state() {
+            Some(FittedState::Gem { model, .. }) => model,
+            other => panic!("expected gem state, got {other:?}"),
+        };
+        let mut base = Gem::with_options(opts);
+        base.fit_with(
+            &data,
+            Privacy::zcdp(1.0).unwrap(),
+            11,
+            FitContext::sequential(),
+        )
+        .unwrap();
+        let base_state = gem_state(&base);
+        let base_sample = base.sample(777, 4).unwrap();
+        for threads in [2usize, 3, 7] {
+            let mut mt = Gem::with_options(opts);
+            mt.fit_with(
+                &data,
+                Privacy::zcdp(1.0).unwrap(),
+                11,
+                FitContext::with_threads(threads),
+            )
+            .unwrap();
+            assert_eq!(gem_state(&mt), base_state, "threads = {threads}");
+            assert_eq!(
+                mt.sample(777, 4).unwrap(),
+                base_sample,
+                "threads = {threads}"
+            );
         }
     }
 

@@ -48,10 +48,92 @@ pub use synrd_pgm::{rows_sampled, sampling_passes};
 // cache fingerprints do not depend on it.
 pub use synrd_ml::backend as ml_backend;
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use synrd_data::{Dataset, Domain};
 use synrd_dp::{delta_for_n, Privacy};
 use synrd_ml::MlpState;
 use synrd_pgm::FittedModel;
+
+// Process-global default fit-thread allowance, encoded for the atomic:
+// 0 = not yet initialized, otherwise the allowance itself.
+static FIT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+fn init_fit_threads_from_env() -> usize {
+    let chosen = match std::env::var("SYNRD_FIT_THREADS") {
+        Ok(v) => v
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&t| t > 0)
+            .unwrap_or_else(|| {
+                // A bad env value must not abort a fit; degrade loudly.
+                eprintln!(
+                    "[synrd-synth] SYNRD_FIT_THREADS ignored: {v:?} is not a positive integer"
+                );
+                1
+            }),
+        Err(_) => 1,
+    };
+    FIT_THREADS.store(chosen, Ordering::Relaxed);
+    chosen
+}
+
+/// The process-global default fit-thread allowance, used by
+/// [`Synthesizer::fit`] (the no-context convenience). Initialized lazily
+/// from `SYNRD_FIT_THREADS` (`1` — fully sequential — when unset or
+/// invalid, with a warning on invalid values); changeable at any time via
+/// [`set_default_fit_threads`]. Like the ML backend selection this is a
+/// throughput knob only: fits are bit-identical at every thread count, so
+/// it never reaches fitted states or cache fingerprints.
+pub fn default_fit_threads() -> usize {
+    match FIT_THREADS.load(Ordering::Relaxed) {
+        0 => init_fit_threads_from_env(),
+        t => t,
+    }
+}
+
+/// Set the process-global default fit-thread allowance (the `--fit-threads`
+/// CLI flags); clamped to at least 1. Only [`Synthesizer::fit`] calls made
+/// *after* this pick up the change.
+pub fn set_default_fit_threads(threads: usize) {
+    FIT_THREADS.store(threads.max(1), Ordering::Relaxed);
+}
+
+/// Execution context for one fit: resource knobs that change throughput but
+/// never results. Every synthesizer's internal parallelism pins its
+/// reduction orders, so a fit is **bit-identical at any thread count** —
+/// which is why this context never appears in [`FittedState`] or any cache
+/// fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FitContext {
+    /// Worker threads the fit may use internally (mirror-descent loss
+    /// passes, batched GEMMs, GEM's per-component updates). `1` runs fully
+    /// sequential.
+    pub threads: usize,
+}
+
+impl Default for FitContext {
+    /// The process-global default allowance ([`default_fit_threads`]).
+    fn default() -> FitContext {
+        FitContext {
+            threads: default_fit_threads(),
+        }
+    }
+}
+
+impl FitContext {
+    /// A fully sequential context (the historical behavior).
+    pub fn sequential() -> FitContext {
+        FitContext { threads: 1 }
+    }
+
+    /// A context with an explicit thread allowance (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> FitContext {
+        FitContext {
+            threads: threads.max(1),
+        }
+    }
+}
 
 /// A serializable snapshot of a fitted synthesizer — everything `sample`
 /// needs, as plain data, with none of the training-time machinery.
@@ -124,12 +206,31 @@ pub trait Synthesizer: Send + Sync {
     /// Display name (as used in the paper's figures).
     fn name(&self) -> &'static str;
 
-    /// Fit the model on `data` under `privacy`, deterministically in `seed`.
+    /// Fit the model on `data` under `privacy`, deterministically in `seed`,
+    /// with an explicit execution context. The context is a throughput knob
+    /// only — the fitted model is bit-identical at any `ctx.threads`.
     ///
     /// # Errors
     /// [`SynthError::Infeasible`] when the dataset is outside the method's
     /// tractable regime (Figure 3 crosshatch), or an underlying error.
-    fn fit(&mut self, data: &Dataset, privacy: Privacy, seed: u64) -> Result<()>;
+    fn fit_with(
+        &mut self,
+        data: &Dataset,
+        privacy: Privacy,
+        seed: u64,
+        ctx: FitContext,
+    ) -> Result<()>;
+
+    /// [`fit_with`] under the process-global default context
+    /// ([`FitContext::default`], i.e. `SYNRD_FIT_THREADS` or sequential).
+    ///
+    /// # Errors
+    /// Same contract as [`fit_with`].
+    ///
+    /// [`fit_with`]: Synthesizer::fit_with
+    fn fit(&mut self, data: &Dataset, privacy: Privacy, seed: u64) -> Result<()> {
+        self.fit_with(data, privacy, seed, FitContext::default())
+    }
 
     /// Sample `n` synthetic rows. Requires a prior successful [`fit`].
     ///

@@ -17,7 +17,7 @@ use crate::common::{
 use crate::error::{Result, SynthError};
 use crate::scoring::{map_scores, mst_edge_score, parallel_scoring};
 use crate::workload::all_pairs;
-use crate::{FittedState, Synthesizer};
+use crate::{FitContext, FittedState, Synthesizer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use synrd_data::{Dataset, Domain, Marginal, MarginalEngine};
@@ -72,7 +72,13 @@ impl Synthesizer for Mst {
         "MST"
     }
 
-    fn fit(&mut self, data: &Dataset, privacy: Privacy, seed: u64) -> Result<()> {
+    fn fit_with(
+        &mut self,
+        data: &Dataset,
+        privacy: Privacy,
+        seed: u64,
+        ctx: FitContext,
+    ) -> Result<()> {
         check_domain_limit(data.domain(), self.options.domain_limit, "MST")?;
         let mut rng = StdRng::seed_from_u64(derive_seed(seed, "mst-fit"));
         let mut accountant = Accountant::new(privacy);
@@ -174,6 +180,7 @@ impl Synthesizer for Mst {
                 iterations: self.options.estimation_iterations,
                 initial_step: 1.0,
                 cell_limit: self.options.cell_limit,
+                fit_threads: ctx.threads.max(1),
             },
             &mut ws,
         )?;

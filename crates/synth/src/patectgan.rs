@@ -28,7 +28,7 @@
 
 use crate::common::{dataset_from_columns, measure_gaussian};
 use crate::error::{Result, SynthError};
-use crate::{FittedState, Synthesizer};
+use crate::{FitContext, FittedState, Synthesizer};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -297,13 +297,23 @@ impl Synthesizer for PateCtgan {
         "PATECTGAN"
     }
 
-    fn fit(&mut self, data: &Dataset, privacy: Privacy, seed: u64) -> Result<()> {
+    fn fit_with(
+        &mut self,
+        data: &Dataset,
+        privacy: Privacy,
+        seed: u64,
+        ctx: FitContext,
+    ) -> Result<()> {
         let mut rng = StdRng::seed_from_u64(derive_seed(seed, "patectgan-fit"));
         let mut state = self.fit_setup(data, privacy, &mut rng)?;
         let batch = self.options.batch;
         let od = state.onehot_dim;
+        // The thread allowance only reaches layers big enough to amortize a
+        // parallel region (`gemm_threads`); results are identical either way.
         let mut gen_ws = BatchWorkspace::new();
+        gen_ws.set_threads(ctx.threads);
         let mut student_ws = BatchWorkspace::new();
+        student_ws.set_threads(ctx.threads);
         let mut zs = vec![0.0f64; batch * self.options.z_dim];
         let mut softs = vec![0.0f64; batch * od];
         let mut labels = vec![0.0f64; batch];

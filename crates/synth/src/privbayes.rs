@@ -13,7 +13,7 @@
 use crate::common::{check_domain_limit, dataset_from_columns};
 use crate::error::{Result, SynthError};
 use crate::workload::all_pairs;
-use crate::{FittedState, Synthesizer};
+use crate::{FitContext, FittedState, Synthesizer};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::RngCore;
@@ -140,7 +140,13 @@ impl Synthesizer for PrivBayes {
         "PrivBayes"
     }
 
-    fn fit(&mut self, data: &Dataset, privacy: Privacy, seed: u64) -> Result<()> {
+    fn fit_with(
+        &mut self,
+        data: &Dataset,
+        privacy: Privacy,
+        seed: u64,
+        _ctx: FitContext,
+    ) -> Result<()> {
         check_domain_limit(data.domain(), self.options.domain_limit, "PrivBayes")?;
         let mut rng = StdRng::seed_from_u64(derive_seed(seed, "privbayes-fit"));
         // Pure-DP budget: convert whatever we were given onto the ε axis at

@@ -13,7 +13,7 @@ use crate::common::{
     check_domain_limit, dataset_from_columns, measure_gaussian, pgm_state, restore_pgm,
 };
 use crate::error::{Result, SynthError};
-use crate::{FittedState, Synthesizer};
+use crate::{FitContext, FittedState, Synthesizer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use synrd_data::{Dataset, Domain, MarginalEngine};
@@ -71,7 +71,13 @@ impl Synthesizer for PrivMrf {
         "PrivMRF"
     }
 
-    fn fit(&mut self, data: &Dataset, privacy: Privacy, seed: u64) -> Result<()> {
+    fn fit_with(
+        &mut self,
+        data: &Dataset,
+        privacy: Privacy,
+        seed: u64,
+        ctx: FitContext,
+    ) -> Result<()> {
         check_domain_limit(data.domain(), self.options.domain_limit, "PrivMRF")?;
         let mut rng = StdRng::seed_from_u64(derive_seed(seed, "privmrf-fit"));
         let mut accountant = Accountant::new(privacy);
@@ -197,6 +203,7 @@ impl Synthesizer for PrivMrf {
                 iterations: self.options.estimation_iterations,
                 initial_step: 1.0,
                 cell_limit: self.options.cell_limit,
+                fit_threads: ctx.threads.max(1),
             },
             &mut ws,
         )?;

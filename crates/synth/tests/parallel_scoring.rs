@@ -105,6 +105,7 @@ fn aim_candidate_scores_parallel_bitwise_equal_sequential() {
             iterations: 25,
             initial_step: 1.0,
             cell_limit: 1 << 21,
+            fit_threads: 1,
         },
     )
     .unwrap();
